@@ -1,0 +1,220 @@
+package tlrchol
+
+// One benchmark per figure of the paper's evaluation section (plus the
+// Algorithm 1 micro-benchmark). Each benchmark runs its experiment
+// driver at a reduced scale and reports the headline metric of the
+// figure as custom benchmark outputs, so `go test -bench=.` regenerates
+// the whole evaluation. cmd/experiments prints the full tables at
+// paper scale.
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/experiments"
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+	"tlrchol/internal/trim"
+)
+
+// benchScale keeps each figure driver in benchmark-friendly territory.
+const benchScale = 0.12
+
+func BenchmarkFig01RankDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig01(0.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Shapes[0].Initial.Density, "density-sparse")
+		b.ReportMetric(r.Shapes[1].Initial.Density, "density-dense")
+		b.ReportMetric(float64(r.Shapes[1].Final.Max), "max-rank-final")
+	}
+}
+
+func BenchmarkFig04ShapeParameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig04(benchScale)
+		pts := r.Panels[0].Points
+		b.ReportMetric(pts[0].TimeNoTrim/pts[0].TimeTrim, "trim-gain-sparse")
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.TimeNoTrim/last.TimeTrim, "trim-gain-dense")
+	}
+}
+
+func BenchmarkFig05TileSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig05(0.25)
+		b.ReportMetric(float64(r.Optimum().B), "optimal-tile")
+		b.ReportMetric(r.Optimum().Time, "best-time-s")
+	}
+}
+
+func BenchmarkFig06DAGTrimming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig06(benchScale)
+		var maxGain float64
+		for _, p := range r.Points {
+			if g := p.TimeFull / p.TimeTrim; g > maxGain {
+				maxGain = g
+			}
+		}
+		b.ReportMetric(maxGain, "max-trim-gain")
+		b.ReportMetric(r.Overheads[len(r.Overheads)-1].PctOfFactorization, "analysis-pct")
+	}
+}
+
+func BenchmarkFig07Incremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig07(benchScale)
+		b.ReportMetric(r.MaxBandSpeedup(), "band-gain")
+		b.ReportMetric(r.MaxDiamondSpeedup(), "diamond-gain")
+	}
+}
+
+func BenchmarkFig08VsLorapoShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig08(benchScale)
+		var min, max = 1e300, 0.0
+		for _, p := range r.Points {
+			if p.Speedup < min {
+				min = p.Speedup
+			}
+			if p.Speedup > max {
+				max = p.Speedup
+			}
+		}
+		b.ReportMetric(min, "min-speedup")
+		b.ReportMetric(max, "max-speedup")
+	}
+}
+
+func BenchmarkFig09VsLorapoShaheen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig09(benchScale)
+		b.ReportMetric(r.MaxSpeedup(), "max-speedup")
+	}
+}
+
+func BenchmarkFig10VsLorapoFugaku(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(benchScale)
+		b.ReportMetric(r.MaxSpeedup(), "max-speedup")
+	}
+}
+
+func BenchmarkFig11TimeBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(benchScale)
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.Compression/last.FactoOurs, "compr-over-facto-ours")
+		b.ReportMetric(last.Compression/last.FactoLorapo, "compr-over-facto-lorapo")
+	}
+}
+
+func BenchmarkFig12Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(benchScale)
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		b.ReportMetric(last.Ours/first.Ours, "cost-ratio-1e9-vs-1e5")
+	}
+}
+
+func BenchmarkFig13Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(0.2)
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.Efficiency, "efficiency")
+		b.ReportMetric(last.NoTrim/last.Diamond, "total-gain")
+	}
+}
+
+func BenchmarkFig14ExtremeScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(0.1)
+		f := r.Flagship()
+		b.ReportMetric(f.Time/60, "flagship-minutes")
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablation(benchScale)
+		if !r.AlwaysWins() {
+			b.Fatal("headline conclusion flipped")
+		}
+		b.ReportMetric(r.Rows[0].Speedup, "baseline-speedup")
+	}
+}
+
+func BenchmarkAlg1Analysis(b *testing.B) {
+	model := ranks.FromShape(ranks.PaperGeometry(1_490_000, 4880, 3.7e-4, 1e-4))
+	ra := modelRankArray{model}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := trim.Analyze(ra, trim.AllLocal)
+		_, _, _, g := trim.TaskCounts(a)
+		b.ReportMetric(float64(g), "gemm-tasks")
+	}
+}
+
+type modelRankArray struct{ m ranks.Model }
+
+func (r modelRankArray) NT() int           { return r.m.NTiles }
+func (r modelRankArray) Rank(m, n int) int { return r.m.Rank(m, n) }
+
+// Kernel-level benchmarks: the real numerical workhorses.
+
+func benchTiles(b *testing.B, size, rank int) (*tlr.Tile, *tlr.Tile, *tlr.Tile) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *tlr.Tile {
+		return tlr.Compress(dense.RandomLowRank(rng, size, size, rank), 1e-10, 0)
+	}
+	return mk(), mk(), mk()
+}
+
+func BenchmarkHCoreGemmLR(b *testing.B) {
+	a, bt, c0 := benchTiles(b, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := c0.Clone()
+		tlr.Gemm(a, bt, c, tlr.GemmConfig{Tol: 1e-8})
+	}
+}
+
+func BenchmarkHCoreSyrk(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a, _, _ := benchTiles(b, 256, 16)
+	c := dense.RandomSPD(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlr.Syrk(a, c)
+	}
+}
+
+func BenchmarkCompressTile(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := dense.RandomLowRank(rng, 256, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlr.Compress(a, 1e-8, 0)
+	}
+}
+
+func BenchmarkFactorizeRBF(b *testing.B) {
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(1024))[:1024]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts), Nugget: 1e-4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := tilemat.FromAssembler(1024, 128, prob.Block, 1e-6, 0)
+		b.StartTimer()
+		if _, err := core.Factorize(m, core.Options{Tol: 1e-6, Trim: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

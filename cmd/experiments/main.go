@@ -1,0 +1,66 @@
+// Command experiments reproduces every figure of the paper's
+// evaluation section (Figs 1, 4–14) and prints the series as text
+// tables. Use -scale to shrink the configurations (default 1.0 runs
+// the paper-scale simulations; they take a few minutes on one core)
+// and -only to select specific figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tlrchol/internal/experiments"
+)
+
+type tabler interface{ Tables() []experiments.Table }
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "scale factor for matrix sizes (0 < scale <= 1)")
+	only := flag.String("only", "", "comma-separated figure list, e.g. 1,4,9 (default: all)")
+	flag.Parse()
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "scale must be in (0,1]")
+		os.Exit(2)
+	}
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			selected[s] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	run := func(id, name string, f func() (tabler, error)) {
+		if !want(id) {
+			return
+		}
+		start := time.Now()
+		r, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range r.Tables() {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("  [%s computed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("1", "Fig 1", func() (tabler, error) { return experiments.Fig01(*scale) })
+	run("4", "Fig 4", func() (tabler, error) { return experiments.Fig04(*scale), nil })
+	run("5", "Fig 5", func() (tabler, error) { return experiments.Fig05(*scale), nil })
+	run("6", "Fig 6", func() (tabler, error) { return experiments.Fig06(*scale), nil })
+	run("7", "Fig 7", func() (tabler, error) { return experiments.Fig07(*scale), nil })
+	run("8", "Fig 8", func() (tabler, error) { return experiments.Fig08(*scale), nil })
+	run("9", "Fig 9", func() (tabler, error) { return experiments.Fig09(*scale), nil })
+	run("10", "Fig 10", func() (tabler, error) { return experiments.Fig10(*scale), nil })
+	run("11", "Fig 11", func() (tabler, error) { return experiments.Fig11(*scale), nil })
+	run("12", "Fig 12", func() (tabler, error) { return experiments.Fig12(*scale), nil })
+	run("13", "Fig 13", func() (tabler, error) { return experiments.Fig13(*scale), nil })
+	run("14", "Fig 14", func() (tabler, error) { return experiments.Fig14(*scale), nil })
+	run("ablation", "Ablation", func() (tabler, error) { return experiments.Ablation(*scale), nil })
+	run("validation", "Validation", func() (tabler, error) { return experiments.Validation(*scale), nil })
+}

@@ -1,0 +1,14 @@
+// Package tlrchol is a Go reproduction of "A Framework to Exploit Data
+// Sparsity in Tile Low-Rank Cholesky Factorization" (Cao et al., IPDPS
+// 2022): a tile low-rank Cholesky factorization framework coupling a
+// task-based dataflow runtime with HiCMA-style low-rank kernels,
+// featuring dynamic DAG trimming (Algorithm 1) and rank-aware
+// band/diamond data distributions, applied to 3D unstructured mesh
+// deformation with Gaussian radial basis functions.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are cmd/tlrchol,
+// cmd/experiments and the examples/ directory. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation section.
+package tlrchol

@@ -1,0 +1,99 @@
+// Meshdeform: the paper's motivating application end to end — 3D
+// unstructured mesh deformation by RBF interpolation (Section IV-C).
+// Boundary points on moving bodies carry known displacements; solving
+// the RBF system with the TLR Cholesky factorization yields an
+// interpolant that deforms the volume mesh smoothly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+func main() {
+	const (
+		nb  = 2000 // boundary points (on the moving bodies)
+		nv  = 500  // interior volume points to deform
+		b   = 125
+		tol = 1e-6
+	)
+
+	// Boundary geometry: the moving bodies.
+	boundary := rbf.VirusPopulation(rbf.DefaultVirusConfig(nb))[:nb]
+	kernel := rbf.Gaussian{Delta: 2 * rbf.DefaultShape(boundary), Nugget: 100 * tol}
+	prob, _ := rbf.NewProblem(boundary, kernel)
+
+	// Prescribed boundary displacements: a rigid translation plus a
+	// smooth stretch, the kind of motion a fluid-structure step imposes.
+	displacement := func(p rbf.Point) rbf.Point {
+		return rbf.Point{
+			X: 0.02 + 0.01*math.Sin(2*math.Pi*p.Y/1.7),
+			Y: -0.015,
+			Z: 0.01 * p.X / 1.7,
+		}
+	}
+	db := dense.NewMatrix(nb, 3)
+	for i, p := range prob.Points {
+		d := displacement(p)
+		db.Set(i, 0, d.X)
+		db.Set(i, 1, d.Y)
+		db.Set(i, 2, d.Z)
+	}
+
+	// Compress + factorize + solve the RBF system K·alpha = d_b.
+	m, _ := tilemat.FromAssembler(nb, b, prob.Block, tol, 0)
+	rep, err := core.Factorize(m, core.Options{Tol: tol, Trim: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	alpha := db.Clone()
+	core.Solve(m, alpha)
+	ip := &rbf.Interpolant{Problem: prob, Alpha: alpha}
+	fmt.Printf("factorized %d x %d RBF system in %v (%d tasks)\n",
+		nb, nb, rep.Elapsed.Round(1e6), rep.Potrf+rep.Trsm+rep.Syrk+rep.Gemm)
+
+	// Verify the interpolation conditions d(x_bi) = d_bi at the boundary.
+	var worst float64
+	for i := 0; i < nb; i += 97 {
+		got := ip.Eval(prob.Points[i])
+		want := displacement(prob.Points[i])
+		e := rbf.Dist(got, want)
+		if e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("worst boundary interpolation error: %.2e\n", worst)
+
+	// Deform interior volume points at controlled distances from the
+	// surface: the Gaussian support makes the displacement blend from
+	// the prescribed boundary motion down to zero within a few δ —
+	// exactly the smooth, local mesh deformation the application wants.
+	rng := rand.New(rand.NewSource(1))
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		var avg float64
+		count := 0
+		for i := 0; i < nv; i++ {
+			base := prob.Points[rng.Intn(nb)]
+			dir := rbf.Point{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+			norm := dir.Norm()
+			if norm == 0 {
+				continue
+			}
+			off := mult * kernel.Delta / norm
+			p := rbf.Point{X: base.X + dir.X*off, Y: base.Y + dir.Y*off, Z: base.Z + dir.Z*off}
+			avg += ip.Eval(p).Norm()
+			count++
+		}
+		fmt.Printf("volume points at %.1f*delta from the surface move %.3e on average\n",
+			mult, avg/float64(count))
+	}
+
+	fmt.Println("mesh deformation complete: boundary motion propagated into the volume")
+}

@@ -1,0 +1,49 @@
+// Refinement: factorize at an aggressively loose accuracy threshold —
+// much cheaper in ranks, flops and memory — then recover full solution
+// accuracy with iterative refinement against the accurate operator.
+// This turns the TLR factor into a preconditioner, the standard trick
+// for squeezing the most out of low-rank solvers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+func main() {
+	const (
+		n = 2000
+		b = 125
+	)
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 3 * rbf.DefaultShape(pts), Nugget: 1e-2}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	a := prob.Dense()
+
+	rhs := dense.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		rhs.Set(i, 0, float64(i%11)-5)
+	}
+
+	for _, tol := range []float64{1e-10, 1e-3} {
+		m, st := tilemat.FromAssembler(n, b, prob.Block, tol, 0)
+		rep, err := core.Factorize(m, core.Options{Tol: tol, Trim: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		x := rhs.Clone()
+		res, err := core.Refine(m, core.DenseOperator{A: a}, x, 25, 1e-12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tol=%.0e: factor %.1f MB, %v, avg rank %.1f | refined to %.1e in %d sweeps (initial solve: %.1e)\n",
+			tol, float64(st.CompressedBytes)/1e6, rep.Elapsed.Round(1e6), m.Stats().Avg,
+			res.Residuals[len(res.Residuals)-1], res.Iterations, res.Residuals[0])
+	}
+	fmt.Println("the loose factor is cheaper to build and store, yet refinement reaches the same final accuracy")
+}

@@ -1,0 +1,3 @@
+module tlrchol
+
+go 1.22

@@ -1,0 +1,156 @@
+package tlrchol
+
+// End-to-end integration tests: the whole pipeline wired together the
+// way a downstream user would run it, asserting numerical outcomes
+// rather than unit behaviour.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/aca"
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/dist"
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/sim"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/trace"
+)
+
+// TestFullPipeline runs geometry → compressed-direct generation (ACA)
+// → trimmed nested-parallel factorization → iterative refinement →
+// RBF interpolation, checking accuracy at every stage.
+func TestFullPipeline(t *testing.T) {
+	const (
+		n   = 1200
+		b   = 150
+		tol = 1e-6
+	)
+	// 1. Geometry + kernel.
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 2.5 * rbf.DefaultShape(pts), Nugget: 100 * tol}
+	prob, perm := rbf.NewProblem(pts, kernel)
+	if len(perm) != n {
+		t.Fatalf("Hilbert permutation missing")
+	}
+
+	// 2. Compressed-direct generation (the future-work extension).
+	m, gs := aca.FromProblem(prob, b, tol, 0)
+	if gs.SavingsFactor() <= 1 {
+		t.Fatalf("ACA generation saved nothing: %.2f", gs.SavingsFactor())
+	}
+
+	// 3. Trimmed, nested-parallel factorization with tracing.
+	rep, err := core.Factorize(m, core.Options{
+		Tol: tol, Trim: true, Workers: 2, NestedDiag: 64, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Trace) == 0 {
+		t.Fatalf("trace not collected")
+	}
+	sum := trace.Analyze(rep.Trace)
+	if sum.Makespan <= 0 || len(sum.Classes) < 3 {
+		t.Fatalf("trace analysis incomplete: %+v", sum)
+	}
+
+	// 4. Solve + iterative refinement against the accurate operator.
+	ref := prob.Dense()
+	d := dense.NewMatrix(n, 3)
+	for i, p := range prob.Points {
+		d.Set(i, 0, 0.05*math.Sin(4*p.Y))
+		d.Set(i, 1, -0.02)
+		d.Set(i, 2, 0.03*p.X)
+	}
+	want := d.Clone()
+	res, err := core.Refine(m, core.DenseOperator{A: ref}, d, 15, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := res.Residuals[len(res.Residuals)-1]; final > 1e-10 {
+		t.Fatalf("refined residual %g", final)
+	}
+
+	// 5. Interpolation conditions hold at the boundary.
+	ip := &rbf.Interpolant{Problem: prob, Alpha: d}
+	for i := 0; i < n; i += 131 {
+		got := ip.Eval(prob.Points[i])
+		if math.Abs(got.X-want.At(i, 0)) > 1e-5 ||
+			math.Abs(got.Y-want.At(i, 1)) > 1e-5 ||
+			math.Abs(got.Z-want.At(i, 2)) > 1e-5 {
+			t.Fatalf("interpolation conditions violated at %d", i)
+		}
+	}
+}
+
+// TestTLRBeatsDenseBaseline compares the TLR factorization against the
+// ScaLAPACK-style dense tile baseline on the same operator: same
+// solution, less memory, fewer flops (observable as less busy time).
+func TestTLRBeatsDenseBaseline(t *testing.T) {
+	const (
+		n   = 1024
+		b   = 128
+		tol = 1e-7
+	)
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 1.5 * rbf.DefaultShape(pts), Nugget: 100 * tol}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	ref := prob.Dense()
+
+	mTLR, st := tilemat.FromAssembler(n, b, prob.Block, tol, 0)
+	mDense := tilemat.DenseTiles(ref, b)
+	repT, err := core.Factorize(mTLR, core.Options{Tol: tol, Trim: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repD, err := core.Factorize(mDense, core.Options{Tol: tol, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressedBytes >= st.DenseBytes {
+		t.Fatalf("compression saved no memory")
+	}
+	if repT.Runtime.BusyTime >= repD.Runtime.BusyTime {
+		t.Fatalf("TLR should do less work than dense: %v vs %v",
+			repT.Runtime.BusyTime, repD.Runtime.BusyTime)
+	}
+	// Both solve the system to their respective accuracy.
+	rng := rand.New(rand.NewSource(9))
+	xTrue := dense.Random(rng, n, 1)
+	rhs := dense.NewMatrix(n, 1)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, ref, xTrue, 0, rhs)
+	xT, xD := rhs.Clone(), rhs.Clone()
+	core.Solve(mTLR, xT)
+	core.Solve(mDense, xD)
+	if r := core.ResidualNorm(ref, xD, rhs); r > 1e-10 {
+		t.Fatalf("dense baseline residual %g", r)
+	}
+	if r := core.ResidualNorm(ref, xT, rhs); r > 1e-4 {
+		t.Fatalf("TLR residual %g", r)
+	}
+}
+
+// TestSimulatorEndToEnd drives the full simulated stack the way
+// examples/scalability does, asserting the paper's headline ordering.
+func TestSimulatorEndToEnd(t *testing.T) {
+	model := ranks.FromShape(ranks.PaperGeometry(1_490_000, 4880, 3.7e-4, 1e-4))
+	p, q := dist.Grid(64)
+	cfg := sim.Config{
+		Machine: sim.ShaheenII, Nodes: 64,
+		Remap: dist.Remap{Data: dist.TwoDBC{P: p, Q: q}, Exec: dist.BandDiamond(p, q)},
+	}
+	w := sim.NewWorkload(model, &model, true)
+	r := sim.Run(w, cfg)
+	if r.Makespan <= 0 || r.Efficiency() <= 0.2 {
+		t.Fatalf("implausible simulation: %+v", r)
+	}
+	est := sim.Estimate(model, cfg, sim.EstOptions{Trimmed: true})
+	ratio := est.Makespan / r.Makespan
+	if ratio < 0.4 || ratio > 1.5 {
+		t.Fatalf("estimator diverged from simulator: %.2f", ratio)
+	}
+}

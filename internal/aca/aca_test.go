@@ -1,0 +1,113 @@
+package aca
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+)
+
+func TestApproximateExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.RandomLowRank(rng, 40, 32, 3)
+	tile, st := Approximate(func(i, j int) float64 { return a.At(i, j) }, 40, 32, 1e-10, 0)
+	if tile.Rank() != 3 {
+		t.Fatalf("expected rank 3, got %d", tile.Rank())
+	}
+	if e := dense.FrobDiff(tile.ToDense(), a); e > 1e-8*(1+a.FrobNorm()) {
+		t.Fatalf("ACA error %g", e)
+	}
+	if st.Evaluations >= 40*32 {
+		t.Fatalf("ACA should evaluate fewer entries than dense assembly: %d", st.Evaluations)
+	}
+}
+
+func TestApproximateZeroBlock(t *testing.T) {
+	tile, _ := Approximate(func(i, j int) float64 { return 0 }, 16, 16, 1e-10, 0)
+	if tile.Kind != tlr.Zero {
+		t.Fatalf("zero block should yield a Zero tile")
+	}
+}
+
+func TestApproximateRBFTileMatchesCompression(t *testing.T) {
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(1024))[:1024]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 3 * rbf.DefaultShape(pts)})
+	const tol = 1e-6
+	r0, c0, sz := 256, 0, 128 // an off-diagonal tile
+	ref := prob.Block(r0, r0+sz, c0, c0+sz)
+	tile, st := Approximate(func(i, j int) float64 {
+		return prob.Entry(r0+i, c0+j)
+	}, sz, sz, tol, 0)
+	if e := dense.FrobDiff(tile.ToDense(), ref); e > 100*tol {
+		t.Fatalf("ACA on RBF tile error %g", e)
+	}
+	direct := tlr.Compress(ref, tol, 0)
+	if tile.Rank() > 2*direct.Rank()+4 {
+		t.Fatalf("ACA rank %d much larger than direct compression %d", tile.Rank(), direct.Rank())
+	}
+	if st.Evaluations >= sz*sz {
+		t.Fatalf("no evaluation savings: %d", st.Evaluations)
+	}
+}
+
+func TestApproximateMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := dense.Random(rng, 24, 24)
+	tile, _ := Approximate(func(i, j int) float64 { return a.At(i, j) }, 24, 24, 0, 5)
+	if tile.Rank() > 5 {
+		t.Fatalf("cap violated: %d", tile.Rank())
+	}
+}
+
+func TestFromProblemMatchesDenseAssembly(t *testing.T) {
+	n, b := 1024, 128
+	const tol = 1e-6
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts), Nugget: 100 * tol}
+	prob, _ := rbf.NewProblem(pts, kernel)
+
+	mACA, gs := FromProblem(prob, b, tol, 0)
+	mRef, _ := tilemat.FromAssembler(n, b, prob.Block, tol, 0)
+	ref := prob.Dense()
+	eACA := mACA.FrobError(ref)
+	eRef := mRef.FrobError(ref)
+	if eACA > 10*eRef+100*tol {
+		t.Fatalf("compressed-direct generation lost accuracy: %g vs %g", eACA, eRef)
+	}
+	// The point of the future work: far fewer kernel evaluations.
+	if gs.SavingsFactor() < 1.5 {
+		t.Fatalf("expected evaluation savings, factor=%.2f", gs.SavingsFactor())
+	}
+	// The generated matrix factorizes and solves like the reference one.
+	if _, err := core.Factorize(mACA, core.Options{Tol: tol, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	xTrue := dense.Random(rng, n, 1)
+	rhs := dense.NewMatrix(n, 1)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, ref, xTrue, 0, rhs)
+	x := rhs.Clone()
+	core.Solve(mACA, x)
+	if r := core.ResidualNorm(ref, x, rhs); r > 1e-3 {
+		t.Fatalf("solve residual on ACA-generated matrix: %g", r)
+	}
+}
+
+func TestFromProblemStructureSimilar(t *testing.T) {
+	n, b := 768, 128
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 1.5 * rbf.DefaultShape(pts)})
+	mACA, gs := FromProblem(prob, b, 1e-4, 0)
+	mRef, _ := tilemat.FromAssembler(n, b, prob.Block, 1e-4, 0)
+	sa, sr := mACA.Stats(), mRef.Stats()
+	if sa.ZeroTiles < sr.ZeroTiles/2 {
+		t.Fatalf("ACA should find the null tiles too: %d vs %d", sa.ZeroTiles, sr.ZeroTiles)
+	}
+	if gs.ZeroTiles+gs.LowRankTiles != sa.Tiles {
+		t.Fatalf("tile accounting wrong")
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements the paper's primary contribution: the tile
+// low-rank (TLR) Cholesky factorization that exploits data sparsity via
+// dynamic DAG trimming (Section VI), executed either sequentially, on
+// the shared-memory task runtime, or projected onto the distributed
+// simulator (package sim). It also provides the TLR triangular solves
+// that turn the factor into mesh-deformation solutions, and accuracy
+// verification helpers.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/runtime"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+	"tlrchol/internal/trim"
+)
+
+// Options configures a factorization.
+type Options struct {
+	// Tol is the accuracy threshold used for low-rank accumulation
+	// during the factorization (usually the compression threshold).
+	Tol float64
+	// MaxRank caps stored ranks (≤ 0: unlimited).
+	MaxRank int
+	// Trim enables the DAG trimming of Section VI: the matrix structure
+	// is analyzed with Algorithm 1 and tasks touching null tiles are
+	// never created. Without it the full dense DAG is unrolled (the
+	// Lorapo behaviour) and null-tile tasks execute as no-ops.
+	Trim bool
+	// Workers sets the worker-thread count (≤ 0: GOMAXPROCS).
+	Workers int
+	// Sequential bypasses the runtime and factorizes in loop order
+	// (reference implementation used for verification).
+	Sequential bool
+	// NestedDiag enables nested parallelism: diagonal-tile POTRFs are
+	// decomposed into sub-tile task DAGs of this block size (0 keeps
+	// them as single tasks). The diagonal tiles carry most of the
+	// critical-path flops, so this is the optimization that keeps cores
+	// busy through the sequential panel chain (Section VII, inherited
+	// from Lorapo).
+	NestedDiag int
+	// CollectTrace records per-task execution records in Report.Trace
+	// (parallel path only).
+	CollectTrace bool
+}
+
+// Report describes what a factorization did.
+type Report struct {
+	// Potrf, Trsm, Syrk, Gemm count the task instances handed to the
+	// runtime (after trimming, if enabled).
+	Potrf, Trsm, Syrk, Gemm int
+	// Elapsed is the factorization wall time; Analysis the Algorithm 1
+	// overhead (zero when trimming is off).
+	Elapsed, Analysis time.Duration
+	// AnalysisBytes is the memory footprint of the trimming analysis.
+	AnalysisBytes int
+	// Runtime carries the scheduler statistics (parallel path only).
+	Runtime runtime.Stats
+	// FinalDensity is the off-diagonal density of the factor.
+	FinalDensity float64
+	// Trace holds per-task execution records when Options.CollectTrace
+	// was set.
+	Trace []runtime.TaskRecord
+}
+
+// rankArray adapts a tilemat to the trimming analysis input.
+type rankArray struct{ m *tilemat.Matrix }
+
+func (r rankArray) NT() int { return r.m.NT }
+func (r rankArray) Rank(m, n int) int {
+	return r.m.At(m, n).Rank()
+}
+
+// Structure returns the execution-space description for the matrix
+// under the given options: the trimmed Analysis or the implicit Full
+// DAG.
+func Structure(m *tilemat.Matrix, trimOn bool) trim.Structure {
+	if trimOn {
+		return trim.Analyze(rankArray{m}, trim.AllLocal)
+	}
+	return trim.Full{Nt: m.NT}
+}
+
+// Factorize computes the TLR Cholesky factorization A = L·Lᵀ in place:
+// on return the lower triangle of m holds L (dense diagonal tiles hold
+// their Cholesky factors; off-diagonal tiles the solved panels). The
+// matrix must be SPD at the compression accuracy.
+func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
+	if opts.Tol <= 0 {
+		return Report{}, fmt.Errorf("core: Options.Tol must be positive, got %g", opts.Tol)
+	}
+	var rep Report
+	var structure trim.Structure
+	if opts.Trim {
+		a := trim.Analyze(rankArray{m}, trim.AllLocal)
+		rep.Analysis = a.AnalysisTime
+		rep.AnalysisBytes = a.AnalysisBytes
+		structure = a
+	} else {
+		structure = trim.Full{Nt: m.NT}
+	}
+	rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm = trim.TaskCounts(structure)
+
+	start := time.Now()
+	var err error
+	if opts.Sequential {
+		err = factorizeSequential(m, structure, opts)
+	} else {
+		rep.Runtime, rep.Trace, err = factorizeParallel(m, structure, opts)
+	}
+	rep.Elapsed = time.Since(start)
+	if err != nil {
+		return rep, err
+	}
+	rep.FinalDensity = m.Stats().Density
+	return rep, nil
+}
+
+// factorizeSequential is the loop-order reference implementation.
+func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options) error {
+	nt := m.NT
+	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
+	for k := 0; k < nt; k++ {
+		if err := dense.Potrf(m.At(k, k).D); err != nil {
+			return fmt.Errorf("core: POTRF(%d): %w", k, err)
+		}
+		l := m.At(k, k).D
+		nb := s.NbTrsm(k)
+		for i := 0; i < nb; i++ {
+			tlr.Trsm(l, m.At(s.TrsmAt(k, i), k))
+		}
+		for i := 0; i < nb; i++ {
+			mi := s.TrsmAt(k, i)
+			tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
+			for j := 0; j < i; j++ {
+				ni := s.TrsmAt(k, j)
+				m.Set(mi, ni, tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg))
+			}
+		}
+	}
+	return nil
+}
+
+// factorizeParallel unrolls the (possibly trimmed) DAG into the task
+// runtime: POTRF/TRSM/SYRK/GEMM task instances with the dependency
+// pattern of the tile Cholesky, serialized per written tile, and
+// critical-path-first priorities.
+func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runtime.Stats, []runtime.TaskRecord, error) {
+	nt := m.NT
+	g := runtime.NewGraph()
+	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
+
+	// lastWriter[tile] tracks the chain tail for tiles that receive
+	// multiple serialized writes (GEMM chains, SYRK chains).
+	type tileKey struct{ m, n int }
+	lastWriter := make(map[tileKey]*runtime.Task)
+	potrfT := make([]*runtime.Task, nt)
+	trsmT := make(map[tileKey]*runtime.Task)
+
+	// Priorities: drive the critical path (POTRF(k) → TRSM(k,k+1) →
+	// SYRK(k+1,k) → POTRF(k+1)) ahead of trailing updates.
+	base := int64(nt+2) << 22
+	potrfPrio := func(k int) int64 { return base - int64(k)<<22 }
+	trsmPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 1 }
+	syrkPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 2 }
+	gemmPrio := func(k, mm, nn int) int64 {
+		return base - int64(k)<<22 - int64(mm-nn)<<8 - 3
+	}
+
+	for k := 0; k < nt; k++ {
+		k := k
+		var pt *runtime.Task
+		if opts.NestedDiag > 0 && m.TileRows(k) >= 2*opts.NestedDiag {
+			pt = addNestedPotrf(g, m.At(k, k).D, opts.NestedDiag,
+				lastWriter[tileKey{k, k}], potrfPrio(k), fmt.Sprintf("potrf(%d)", k))
+		} else {
+			pt = g.NewTask(fmt.Sprintf("potrf(%d)", k), potrfPrio(k), func() error {
+				return dense.Potrf(m.At(k, k).D)
+			})
+			if lw := lastWriter[tileKey{k, k}]; lw != nil {
+				g.AddDep(lw, pt)
+			}
+		}
+		potrfT[k] = pt
+		lastWriter[tileKey{k, k}] = pt
+
+		nb := s.NbTrsm(k)
+		for i := 0; i < nb; i++ {
+			mi := s.TrsmAt(k, i)
+			tt := g.NewTask(fmt.Sprintf("trsm(%d,%d)", k, mi), trsmPrio(k, mi), func() error {
+				tlr.Trsm(m.At(k, k).D, m.At(mi, k))
+				return nil
+			})
+			g.AddDep(pt, tt)
+			if lw := lastWriter[tileKey{mi, k}]; lw != nil {
+				g.AddDep(lw, tt)
+			}
+			lastWriter[tileKey{mi, k}] = tt
+			trsmT[tileKey{mi, k}] = tt
+
+			st := g.NewTask(fmt.Sprintf("syrk(%d,%d)", k, mi), syrkPrio(k, mi), func() error {
+				tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
+				return nil
+			})
+			g.AddDep(tt, st)
+			if lw := lastWriter[tileKey{mi, mi}]; lw != nil {
+				g.AddDep(lw, st)
+			}
+			lastWriter[tileKey{mi, mi}] = st
+
+			for j := 0; j < i; j++ {
+				ni := s.TrsmAt(k, j)
+				gt := g.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", k, mi, ni), gemmPrio(k, mi, ni), func() error {
+					m.Set(mi, ni, tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg))
+					return nil
+				})
+				g.AddDep(tt, gt)
+				g.AddDep(trsmT[tileKey{ni, k}], gt)
+				if lw := lastWriter[tileKey{mi, ni}]; lw != nil {
+					g.AddDep(lw, gt)
+				}
+				lastWriter[tileKey{mi, ni}] = gt
+			}
+		}
+	}
+	st, err := g.Run(opts.Workers)
+	var recs []runtime.TaskRecord
+	if opts.CollectTrace {
+		recs = g.Trace()
+	}
+	return st, recs, err
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/runtime"
+)
+
+// addNestedPotrf expands the Cholesky factorization of one dense
+// diagonal tile into a sub-DAG of sub-tile tasks (POTRF/TRSM/SYRK/GEMM
+// on subB×subB blocks) inside the same task graph — the nested
+// parallelism the paper inherits from Lorapo: the diagonal tiles carry
+// most of the critical-path flops, and decomposing them keeps all
+// cores busy while the panel is sequential at the tile level.
+//
+// pred (if non-nil) gates every source sub-task; the returned join
+// task completes after the whole sub-factorization and stands in for
+// the tile-level POTRF in the outer dependency structure.
+func addNestedPotrf(g *runtime.Graph, d *dense.Matrix, subB int, pred *runtime.Task, prio int64, label string) *runtime.Task {
+	n := d.Rows
+	nb := (n + subB - 1) / subB
+	view := func(i, j int) *dense.Matrix {
+		r0, c0 := i*subB, j*subB
+		rows, cols := subB, subB
+		if r0+rows > n {
+			rows = n - r0
+		}
+		if c0+cols > n {
+			cols = n - c0
+		}
+		return d.View(r0, c0, rows, cols)
+	}
+	lastWriter := make(map[[2]int]*runtime.Task)
+	gate := func(t *runtime.Task, i, j int) {
+		if lw, ok := lastWriter[[2]int{i, j}]; ok {
+			g.AddDep(lw, t)
+		} else if pred != nil {
+			g.AddDep(pred, t)
+		}
+		lastWriter[[2]int{i, j}] = t
+	}
+	for k := 0; k < nb; k++ {
+		k := k
+		pt := g.NewTask(fmt.Sprintf("%s/potrf(%d)", label, k), prio, func() error {
+			return dense.Potrf(view(k, k))
+		})
+		gate(pt, k, k)
+		for m := k + 1; m < nb; m++ {
+			m := m
+			tt := g.NewTask(fmt.Sprintf("%s/trsm(%d,%d)", label, k, m), prio, func() error {
+				dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, view(k, k), view(m, k))
+				return nil
+			})
+			g.AddDep(pt, tt)
+			gate(tt, m, k)
+		}
+		for m := k + 1; m < nb; m++ {
+			m := m
+			st := g.NewTask(fmt.Sprintf("%s/syrk(%d,%d)", label, k, m), prio, func() error {
+				dense.Syrk(dense.NoTrans, -1, view(m, k), 1, view(m, m))
+				return nil
+			})
+			g.AddDep(lastWriter[[2]int{m, k}], st)
+			gate(st, m, m)
+			for nn := k + 1; nn < m; nn++ {
+				nn := nn
+				gt := g.NewTask(fmt.Sprintf("%s/gemm(%d,%d,%d)", label, k, m, nn), prio, func() error {
+					dense.Gemm(dense.NoTrans, dense.Trans, -1, view(m, k), view(nn, k), 1, view(m, nn))
+					return nil
+				})
+				g.AddDep(lastWriter[[2]int{m, k}], gt)
+				g.AddDep(lastWriter[[2]int{nn, k}], gt)
+				gate(gt, m, nn)
+			}
+		}
+	}
+	join := g.NewTask(label+"/done", prio, nil)
+	joined := make(map[*runtime.Task]bool)
+	for _, lw := range lastWriter {
+		if !joined[lw] {
+			joined[lw] = true
+			g.AddDep(lw, join)
+		}
+	}
+	if len(lastWriter) == 0 {
+		// Degenerate tile: gate the join on pred directly.
+		if pred != nil {
+			g.AddDep(pred, join)
+		}
+	}
+	return join
+}

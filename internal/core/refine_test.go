@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+func TestTLROperatorMatchesDense(t *testing.T) {
+	m, a := rbfMatrix(t, 384, 64, 4, 1e-10)
+	op := TLROperator{M: m}
+	rng := rand.New(rand.NewSource(1))
+	x := dense.Random(rng, 384, 2)
+	y := dense.NewMatrix(384, 2)
+	op.Apply(x, y)
+	want := dense.NewMatrix(384, 2)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a, x, 0, want)
+	if dense.FrobDiff(y, want) > 1e-7*want.FrobNorm() {
+		t.Fatalf("TLR operator apply mismatch: %g", dense.FrobDiff(y, want))
+	}
+	if op.Size() != 384 {
+		t.Fatalf("size")
+	}
+}
+
+func TestRefineRecoversAccuracy(t *testing.T) {
+	// Factorize at a LOOSE threshold, then refine against the accurate
+	// operator: the residual must drop by orders of magnitude.
+	n, b := 512, 64
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 4 * rbf.DefaultShape(pts), Nugget: 1e-2}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	a := prob.Dense()
+	m, _ := tilemat.FromAssembler(n, b, prob.Block, 1e-4, 0) // loose!
+	if _, err := Factorize(m, Options{Tol: 1e-4, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	xTrue := dense.Random(rng, n, 2)
+	rhs := dense.NewMatrix(n, 2)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a, xTrue, 0, rhs)
+
+	// Plain solve with the loose factor.
+	plain := rhs.Clone()
+	Solve(m, plain)
+	plainRes := ResidualNorm(a, plain, rhs)
+
+	// Refined solve.
+	x := rhs.Clone()
+	res, err := Refine(m, DenseOperator{A: a}, x, 20, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Residuals[len(res.Residuals)-1]
+	if final > plainRes/100 {
+		t.Fatalf("refinement should beat the plain solve by orders of magnitude: %g vs %g",
+			final, plainRes)
+	}
+	if final > 1e-10 {
+		t.Fatalf("refinement should approach machine precision, got %g", final)
+	}
+	// Residual history is (essentially) monotone decreasing.
+	for i := 1; i < len(res.Residuals); i++ {
+		if res.Residuals[i] > res.Residuals[i-1]*1.5 {
+			t.Fatalf("residuals should contract: %v", res.Residuals)
+		}
+	}
+}
+
+func TestRefineWithTLROperator(t *testing.T) {
+	// Matrix-free refinement: the accurate operator is the compressed
+	// matrix at a TIGHT threshold, the preconditioner a loose factor.
+	n, b := 384, 64
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 4 * rbf.DefaultShape(pts), Nugget: 1e-2}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	tight, _ := tilemat.FromAssembler(n, b, prob.Block, 1e-12, 0)
+	loose, _ := tilemat.FromAssembler(n, b, prob.Block, 1e-3, 0)
+	if _, err := Factorize(loose, Options{Tol: 1e-3, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rhs := dense.Random(rng, n, 1)
+	x := rhs.Clone()
+	res, err := Refine(loose, TLROperator{M: tight}, x, 15, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Residuals[len(res.Residuals)-1] > 1e-9 {
+		t.Fatalf("matrix-free refinement failed: %v", res.Residuals)
+	}
+}
+
+func TestRefineStopsAtTarget(t *testing.T) {
+	m, a := rbfMatrix(t, 256, 64, 4, 1e-8)
+	if _, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	b := dense.Random(rng, 256, 1)
+	res, err := Refine(m, DenseOperator{A: a}, b, 50, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("an accurate factor should meet a loose target immediately: %d iters", res.Iterations)
+	}
+}
+
+func TestRefineDimensionMismatch(t *testing.T) {
+	m, a := rbfMatrix(t, 256, 64, 4, 1e-8)
+	bad := dense.NewMatrix(100, 1)
+	if _, err := Refine(m, DenseOperator{A: a}, bad, 3, 1e-8); err == nil {
+		t.Fatalf("expected dimension error")
+	}
+}
+
+func TestRefineZeroRHS(t *testing.T) {
+	m, a := rbfMatrix(t, 256, 64, 4, 1e-8)
+	if _, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	b := dense.NewMatrix(256, 1)
+	res, err := Refine(m, DenseOperator{A: a}, b, 3, 1e-8)
+	if err != nil || res.Iterations != 0 {
+		t.Fatalf("zero rhs should return immediately: %v %+v", err, res)
+	}
+}
+
+func TestLogDetMatchesDense(t *testing.T) {
+	m, a := rbfMatrix(t, 256, 64, 4, 1e-10)
+	if _, err := Factorize(m, Options{Tol: 1e-10, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	got := LogDet(m)
+	// Reference: dense Cholesky log-determinant.
+	l := a.Clone()
+	if err := dense.Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < 256; i++ {
+		want += 2 * math.Log(l.At(i, i))
+	}
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("LogDet %g vs dense %g", got, want)
+	}
+}
+
+func TestMaternLikelihoodPipeline(t *testing.T) {
+	// The geostatistics use case: factorize a Matérn covariance with TLR,
+	// read off the Gaussian log-likelihood ingredients (log det + solve).
+	n, b := 512, 64
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	prob, _ := rbf.NewProblem(pts, rbf.Matern52{Delta: 3 * rbf.DefaultShape(pts), Nugget: 1e-3})
+	a := prob.Dense()
+	m, _ := tilemat.FromAssembler(n, b, prob.Block, 1e-8, 0)
+	if _, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// log det against dense reference.
+	l := a.Clone()
+	if err := dense.Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		want += 2 * math.Log(l.At(i, i))
+	}
+	if got := LogDet(m); math.Abs(got-want) > 1e-4*math.Abs(want) {
+		t.Fatalf("Matérn log det %g vs %g", got, want)
+	}
+	// Quadratic form z^T K^{-1} z via the TLR solve.
+	rng := rand.New(rand.NewSource(7))
+	z := dense.Random(rng, n, 1)
+	x := z.Clone()
+	Solve(m, x)
+	if r := ResidualNorm(a, x, z); r > 1e-5 {
+		t.Fatalf("Matérn solve residual %g", r)
+	}
+}

@@ -1,0 +1,370 @@
+package dense
+
+import "fmt"
+
+// TransFlag selects whether an operand is used as-is or transposed,
+// mirroring the BLAS character arguments.
+type TransFlag int
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans TransFlag = iota
+	// Trans uses the transpose of the operand.
+	Trans
+)
+
+// Side selects which side a triangular operand multiplies from.
+type Side int
+
+const (
+	// Left means op(A)·X.
+	Left Side = iota
+	// Right means X·op(A).
+	Right
+)
+
+// UpLo selects the referenced triangle of a symmetric/triangular matrix.
+type UpLo int
+
+const (
+	// Lower references the lower triangle.
+	Lower UpLo = iota
+	// Upper references the upper triangle.
+	Upper
+)
+
+// Diag indicates whether a triangular matrix has a unit diagonal.
+type Diag int
+
+const (
+	// NonUnit uses the stored diagonal.
+	NonUnit Diag = iota
+	// Unit assumes an implicit unit diagonal.
+	Unit
+)
+
+func opDims(t TransFlag, m *Matrix) (r, c int) {
+	if t == NoTrans {
+		return m.Rows, m.Cols
+	}
+	return m.Cols, m.Rows
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C, the general matrix-matrix
+// product (BLAS dgemm). The inner loops are arranged in i-k-j order so the
+// innermost traversal is contiguous in both B and C.
+func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	ar, ac := opDims(tA, a)
+	br, bc := opDims(tB, b)
+	if ac != br || c.Rows != ar || c.Cols != bc {
+		panic(fmt.Sprintf("dense: Gemm dims op(A)=%dx%d op(B)=%dx%d C=%dx%d", ar, ac, br, bc, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			c.Zero()
+		} else {
+			c.Scale(beta)
+		}
+	}
+	if alpha == 0 || ac == 0 {
+		return
+	}
+	switch {
+	case tA == NoTrans && tB == NoTrans:
+		for i := 0; i < ar; i++ {
+			ci := c.Data[i*c.Stride : i*c.Stride+bc]
+			ai := a.Row(i)
+			for k := 0; k < ac; k++ {
+				t := alpha * ai[k]
+				if t == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Stride : k*b.Stride+bc]
+				for j, bv := range bk {
+					ci[j] += t * bv
+				}
+			}
+		}
+	case tA == NoTrans && tB == Trans:
+		for i := 0; i < ar; i++ {
+			ci := c.Data[i*c.Stride : i*c.Stride+bc]
+			ai := a.Row(i)
+			for j := 0; j < bc; j++ {
+				bj := b.Row(j)
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	case tA == Trans && tB == NoTrans:
+		for k := 0; k < ac; k++ {
+			akRow := a.Row(k) // row k of A holds column entries A[k][i] = op(A)[i][k]
+			bk := b.Data[k*b.Stride : k*b.Stride+bc]
+			for i := 0; i < ar; i++ {
+				t := alpha * akRow[i]
+				if t == 0 {
+					continue
+				}
+				ci := c.Data[i*c.Stride : i*c.Stride+bc]
+				for j, bv := range bk {
+					ci[j] += t * bv
+				}
+			}
+		}
+	default: // Trans, Trans
+		for i := 0; i < ar; i++ {
+			ci := c.Data[i*c.Stride : i*c.Stride+bc]
+			for j := 0; j < bc; j++ {
+				bj := b.Row(j) // row j of B holds op(B)[k][j] over k
+				var s float64
+				for k := 0; k < ac; k++ {
+					s += a.At(k, i) * bj[k]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update on the lower triangle of C:
+// C = alpha·op(A)·op(A)ᵀ + beta·C with op(A) = A (tA==NoTrans, n×k) or Aᵀ.
+// Only the lower triangle of C is referenced and updated (BLAS dsyrk,
+// uplo='L').
+func Syrk(tA TransFlag, alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n, k := opDims(tA, a)
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("dense: Syrk C=%dx%d want %dx%d", c.Rows, c.Cols, n, n))
+	}
+	for i := 0; i < n; i++ {
+		ci := c.Data[i*c.Stride:]
+		for j := 0; j <= i; j++ {
+			var s float64
+			if tA == NoTrans {
+				ai, aj := a.Row(i), a.Row(j)
+				for kk := 0; kk < k; kk++ {
+					s += ai[kk] * aj[kk]
+				}
+			} else {
+				for kk := 0; kk < k; kk++ {
+					s += a.At(kk, i) * a.At(kk, j)
+				}
+			}
+			ci[j] = alpha*s + beta*ci[j]
+		}
+	}
+}
+
+// Trsm solves a triangular system with multiple right-hand sides in
+// place (BLAS dtrsm): op(A)·X = alpha·B for side==Left, or
+// X·op(A) = alpha·B for side==Right, overwriting B with X. A must be
+// square with the referenced triangle given by uplo.
+func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Matrix) {
+	if a.Rows != a.Cols {
+		panic("dense: Trsm A not square")
+	}
+	n := a.Rows
+	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
+		panic(fmt.Sprintf("dense: Trsm dims A=%dx%d B=%dx%d side=%d", a.Rows, a.Cols, b.Rows, b.Cols, side))
+	}
+	if alpha != 1 {
+		b.Scale(alpha)
+	}
+	// Effective orientation: solving with a Lower matrix transposed is the
+	// same traversal order as an Upper matrix, and vice versa.
+	lower := (uplo == Lower) == (tA == NoTrans)
+	at := func(i, j int) float64 {
+		if tA == NoTrans {
+			return a.At(i, j)
+		}
+		return a.At(j, i)
+	}
+	if side == Left {
+		// Solve op(A)·X = B, column-block forward/backward substitution
+		// performed row-wise across all RHS at once.
+		if lower {
+			for i := 0; i < n; i++ {
+				bi := b.Row(i)
+				for k := 0; k < i; k++ {
+					t := at(i, k)
+					if t == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j := range bi {
+						bi[j] -= t * bk[j]
+					}
+				}
+				if diag == NonUnit {
+					d := at(i, i)
+					for j := range bi {
+						bi[j] /= d
+					}
+				}
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				bi := b.Row(i)
+				for k := i + 1; k < n; k++ {
+					t := at(i, k)
+					if t == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j := range bi {
+						bi[j] -= t * bk[j]
+					}
+				}
+				if diag == NonUnit {
+					d := at(i, i)
+					for j := range bi {
+						bi[j] /= d
+					}
+				}
+			}
+		}
+		return
+	}
+	// side == Right: X·op(A) = B. Process columns of X in dependency order.
+	if lower {
+		// op(A) lower: x_j depends on x_k for k > j → go j = n-1 … 0.
+		for j := n - 1; j >= 0; j-- {
+			for i := 0; i < b.Rows; i++ {
+				bi := b.Row(i)
+				s := bi[j]
+				for k := j + 1; k < n; k++ {
+					s -= bi[k] * at(k, j)
+				}
+				if diag == NonUnit {
+					s /= at(j, j)
+				}
+				bi[j] = s
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			for i := 0; i < b.Rows; i++ {
+				bi := b.Row(i)
+				s := bi[j]
+				for k := 0; k < j; k++ {
+					s -= bi[k] * at(k, j)
+				}
+				if diag == NonUnit {
+					s /= at(j, j)
+				}
+				bi[j] = s
+			}
+		}
+	}
+}
+
+// Trmm computes B = alpha·op(A)·B (side==Left) or B = alpha·B·op(A)
+// (side==Right) in place with triangular A (BLAS dtrmm).
+func Trmm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Matrix) {
+	if a.Rows != a.Cols {
+		panic("dense: Trmm A not square")
+	}
+	n := a.Rows
+	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
+		panic("dense: Trmm dimension mismatch")
+	}
+	lower := (uplo == Lower) == (tA == NoTrans)
+	at := func(i, j int) float64 {
+		if tA == NoTrans {
+			return a.At(i, j)
+		}
+		return a.At(j, i)
+	}
+	if side == Left {
+		if lower {
+			for i := n - 1; i >= 0; i-- {
+				bi := b.Row(i)
+				var d float64 = 1
+				if diag == NonUnit {
+					d = at(i, i)
+				}
+				for j := range bi {
+					bi[j] *= d
+				}
+				for k := 0; k < i; k++ {
+					t := at(i, k)
+					if t == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j := range bi {
+						bi[j] += t * bk[j]
+					}
+				}
+				if alpha != 1 {
+					for j := range bi {
+						bi[j] *= alpha
+					}
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				bi := b.Row(i)
+				var d float64 = 1
+				if diag == NonUnit {
+					d = at(i, i)
+				}
+				for j := range bi {
+					bi[j] *= d
+				}
+				for k := i + 1; k < n; k++ {
+					t := at(i, k)
+					if t == 0 {
+						continue
+					}
+					bk := b.Row(k)
+					for j := range bi {
+						bi[j] += t * bk[j]
+					}
+				}
+				if alpha != 1 {
+					for j := range bi {
+						bi[j] *= alpha
+					}
+				}
+			}
+		}
+		return
+	}
+	// side == Right: B = alpha·B·op(A).
+	if lower {
+		// (B·L)_{ij} = Σ_{k≥j} B_{ik} L_{kj} → build columns left to right.
+		for i := 0; i < b.Rows; i++ {
+			bi := b.Row(i)
+			for j := 0; j < n; j++ {
+				var s float64
+				if diag == NonUnit {
+					s = bi[j] * at(j, j)
+				} else {
+					s = bi[j]
+				}
+				for k := j + 1; k < n; k++ {
+					s += bi[k] * at(k, j)
+				}
+				bi[j] = alpha * s
+			}
+		}
+	} else {
+		for i := 0; i < b.Rows; i++ {
+			bi := b.Row(i)
+			for j := n - 1; j >= 0; j-- {
+				var s float64
+				if diag == NonUnit {
+					s = bi[j] * at(j, j)
+				} else {
+					s = bi[j]
+				}
+				for k := 0; k < j; k++ {
+					s += bi[k] * at(k, j)
+				}
+				bi[j] = alpha * s
+			}
+		}
+	}
+}

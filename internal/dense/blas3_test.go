@@ -1,0 +1,250 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gemmRef is a deliberately naive reference implementation.
+func gemmRef(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix) *Matrix {
+	ar, ac := opDims(tA, a)
+	_, bc := opDims(tB, b)
+	out := NewMatrix(ar, bc)
+	opA := func(i, k int) float64 {
+		if tA == NoTrans {
+			return a.At(i, k)
+		}
+		return a.At(k, i)
+	}
+	opB := func(k, j int) float64 {
+		if tB == NoTrans {
+			return b.At(k, j)
+		}
+		return b.At(j, k)
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s float64
+			for k := 0; k < ac; k++ {
+				s += opA(i, k) * opB(k, j)
+			}
+			out.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestGemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	dims := [][3]int{{4, 5, 6}, {1, 7, 2}, {8, 8, 8}, {3, 1, 9}}
+	for _, d := range dims {
+		m, k, n := d[0], d[1], d[2]
+		for _, tA := range []TransFlag{NoTrans, Trans} {
+			for _, tB := range []TransFlag{NoTrans, Trans} {
+				var a, b *Matrix
+				if tA == NoTrans {
+					a = Random(rng, m, k)
+				} else {
+					a = Random(rng, k, m)
+				}
+				if tB == NoTrans {
+					b = Random(rng, k, n)
+				} else {
+					b = Random(rng, n, k)
+				}
+				c := Random(rng, m, n)
+				want := gemmRef(tA, tB, 1.5, a, b, 0.5, c)
+				got := c.Clone()
+				Gemm(tA, tB, 1.5, a, b, 0.5, got)
+				if FrobDiff(got, want) > 1e-12*want.FrobNorm() {
+					t.Fatalf("Gemm mismatch tA=%d tB=%d dims=%v diff=%g", tA, tB, d, FrobDiff(got, want))
+				}
+			}
+		}
+	}
+}
+
+func TestGemmBetaZeroOverwritesGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := Random(rng, 3, 3)
+	b := Random(rng, 3, 3)
+	c := NewMatrix(3, 3)
+	for i := range c.Data {
+		c.Data[i] = 1e300 // must be ignored when beta==0
+	}
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	want := gemmRef(NoTrans, NoTrans, 1, a, b, 0, NewMatrix(3, 3))
+	if FrobDiff(c, want) > 1e-12 {
+		t.Fatalf("beta=0 must not read C")
+	}
+}
+
+func TestGemmDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected dimension panic")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1, NewMatrix(2, 3), NewMatrix(4, 2), 0, NewMatrix(2, 2))
+}
+
+func TestSyrkMatchesGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tA := range []TransFlag{NoTrans, Trans} {
+		var a *Matrix
+		n, k := 6, 4
+		if tA == NoTrans {
+			a = Random(rng, n, k)
+		} else {
+			a = Random(rng, k, n)
+		}
+		c := RandomSPD(rng, n)
+		want := c.Clone()
+		// Reference via Gemm: full product, then compare lower triangles.
+		Gemm(tA, 1-tA, 2, a, a, 1, want) // op(A)·op(A)ᵀ: second flag is the flip
+		got := c.Clone()
+		Syrk(tA, 2, a, 1, got)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if diff := got.At(i, j) - want.At(i, j); diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("Syrk mismatch at (%d,%d): %g vs %g", i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		// Upper triangle untouched.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if got.At(i, j) != c.At(i, j) {
+					t.Fatalf("Syrk must not touch upper triangle")
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n, nrhs := 6, 4
+	// Build a well-conditioned triangular matrix.
+	a := Random(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 3+rng.Float64())
+	}
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []UpLo{Lower, Upper} {
+			for _, tA := range []TransFlag{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					var b *Matrix
+					if side == Left {
+						b = Random(rng, n, nrhs)
+					} else {
+						b = Random(rng, nrhs, n)
+					}
+					x := b.Clone()
+					Trsm(side, uplo, tA, diag, 2, a, x)
+					// Verify: op(tri(A))·X == 2B (Left) or X·op(tri(A)) == 2B.
+					tri := NewMatrix(n, n)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							inTri := (uplo == Lower && j <= i) || (uplo == Upper && j >= i)
+							if !inTri {
+								continue
+							}
+							if i == j && diag == Unit {
+								tri.Set(i, j, 1)
+							} else {
+								tri.Set(i, j, a.At(i, j))
+							}
+						}
+					}
+					var back *Matrix
+					if side == Left {
+						back = NewMatrix(n, nrhs)
+						Gemm(tA, NoTrans, 1, tri, x, 0, back)
+					} else {
+						back = NewMatrix(nrhs, n)
+						Gemm(NoTrans, tA, 1, x, tri, 0, back)
+					}
+					want := b.Clone()
+					want.Scale(2)
+					if FrobDiff(back, want) > 1e-10*want.FrobNorm() {
+						t.Fatalf("Trsm failed side=%d uplo=%d tA=%d diag=%d diff=%g",
+							side, uplo, tA, diag, FrobDiff(back, want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrmmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n, nrhs := 5, 3
+	a := Random(rng, n, n)
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []UpLo{Lower, Upper} {
+			for _, tA := range []TransFlag{NoTrans, Trans} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					var b *Matrix
+					if side == Left {
+						b = Random(rng, n, nrhs)
+					} else {
+						b = Random(rng, nrhs, n)
+					}
+					got := b.Clone()
+					Trmm(side, uplo, tA, diag, 1.5, a, got)
+					tri := NewMatrix(n, n)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							inTri := (uplo == Lower && j <= i) || (uplo == Upper && j >= i)
+							if !inTri {
+								continue
+							}
+							if i == j && diag == Unit {
+								tri.Set(i, j, 1)
+							} else {
+								tri.Set(i, j, a.At(i, j))
+							}
+						}
+					}
+					var want *Matrix
+					if side == Left {
+						want = NewMatrix(n, nrhs)
+						Gemm(tA, NoTrans, 1.5, tri, b, 0, want)
+					} else {
+						want = NewMatrix(nrhs, n)
+						Gemm(NoTrans, tA, 1.5, b, tri, 0, want)
+					}
+					if FrobDiff(got, want) > 1e-11*(1+want.FrobNorm()) {
+						t.Fatalf("Trmm failed side=%d uplo=%d tA=%d diag=%d diff=%g",
+							side, uplo, tA, diag, FrobDiff(got, want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: Trsm is the inverse of Trmm for any triangular system.
+func TestTrsmInvertsTrmmProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		nrhs := 1 + r.Intn(4)
+		a := Random(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, 2+r.Float64())
+		}
+		b := Random(r, n, nrhs)
+		x := b.Clone()
+		Trmm(Left, Lower, NoTrans, NonUnit, 1, a, x)
+		Trsm(Left, Lower, NoTrans, NonUnit, 1, a, x)
+		return FrobDiff(x, b) < 1e-9*(1+b.FrobNorm())
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,283 @@
+package dense
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := RandomSPD(rng, n)
+		l := a.Clone()
+		if err := Potrf(l); err != nil {
+			t.Fatalf("Potrf n=%d: %v", n, err)
+		}
+		back := LowerTimesTranspose(l)
+		if FrobDiff(back, a) > 1e-10*a.FrobNorm() {
+			t.Fatalf("Potrf reconstruct n=%d diff=%g", n, FrobDiff(back, a))
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	err := Potrf(a)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}
+
+func TestPotrfLeavesUpperUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := RandomSPD(rng, 6)
+	marker := 123.456
+	a.Set(0, 5, marker)
+	if err := Potrf(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 5) != marker {
+		t.Fatalf("Potrf must not touch the strictly-upper triangle")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 12
+	a := RandomSPD(rng, n)
+	xTrue := Random(rng, n, 2)
+	b := NewMatrix(n, 2)
+	Gemm(NoTrans, NoTrans, 1, a, xTrue, 0, b)
+	l := a.Clone()
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	CholSolve(l, b)
+	if FrobDiff(b, xTrue) > 1e-8*xTrue.FrobNorm() {
+		t.Fatalf("CholSolve residual too large: %g", FrobDiff(b, xTrue))
+	}
+}
+
+// Property: Cholesky of any generated SPD matrix reconstructs it.
+func TestPotrfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		a := RandomSPD(r, n)
+		l := a.Clone()
+		if err := Potrf(l); err != nil {
+			return false
+		}
+		return FrobDiff(LowerTimesTranspose(l), a) <= 1e-9*a.FrobNorm()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRReconstructsAndOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, dims := range [][2]int{{5, 5}, {10, 4}, {16, 16}, {7, 1}} {
+		m, n := dims[0], dims[1]
+		a := Random(rng, m, n)
+		q, r := QR(a)
+		// Reconstruction.
+		back := NewMatrix(m, n)
+		Gemm(NoTrans, NoTrans, 1, q, r, 0, back)
+		if FrobDiff(back, a) > 1e-11*(1+a.FrobNorm()) {
+			t.Fatalf("QR reconstruct %dx%d diff=%g", m, n, FrobDiff(back, a))
+		}
+		// Orthogonality: QᵀQ = I.
+		qtq := NewMatrix(n, n)
+		Gemm(Trans, NoTrans, 1, q, q, 0, qtq)
+		if FrobDiff(qtq, Identity(n)) > 1e-12*float64(n) {
+			t.Fatalf("Q not orthonormal: %g", FrobDiff(qtq, Identity(n)))
+		}
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := RandomLowRank(rng, 10, 6, 2)
+	q, r := QR(a)
+	back := NewMatrix(10, 6)
+	Gemm(NoTrans, NoTrans, 1, q, r, 0, back)
+	if FrobDiff(back, a) > 1e-10*(1+a.FrobNorm()) {
+		t.Fatalf("QR on rank-deficient input diff=%g", FrobDiff(back, a))
+	}
+}
+
+func TestQRCPTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := RandomLowRank(rng, 20, 20, 4)
+	res := QRCP(a, 1e-10, 0)
+	if res.Rank != 4 {
+		t.Fatalf("QRCP should detect rank 4, got %d", res.Rank)
+	}
+	// Reconstruction: A ≈ Q·(R·Pᵀ).
+	rp := UnpermuteColumns(res.R, res.Perm)
+	back := NewMatrix(20, 20)
+	Gemm(NoTrans, NoTrans, 1, res.Q, rp, 0, back)
+	if FrobDiff(back, a) > 1e-8*(1+a.FrobNorm()) {
+		t.Fatalf("QRCP reconstruct diff=%g", FrobDiff(back, a))
+	}
+}
+
+func TestQRCPMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a := Random(rng, 12, 12) // full rank
+	res := QRCP(a, 0, 5)
+	if res.Rank != 5 {
+		t.Fatalf("maxRank cap not honored: %d", res.Rank)
+	}
+}
+
+func TestQRCPZeroMatrix(t *testing.T) {
+	a := NewMatrix(8, 8)
+	res := QRCP(a, 1e-12, 0)
+	if res.Rank != 0 {
+		t.Fatalf("zero matrix should have rank 0, got %d", res.Rank)
+	}
+}
+
+func TestSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, dims := range [][2]int{{6, 6}, {10, 3}, {3, 10}, {1, 5}} {
+		m, n := dims[0], dims[1]
+		a := Random(rng, m, n)
+		res := SVD(a)
+		k := len(res.S)
+		// A = U·diag(S)·Vᵀ
+		us := res.U.Clone()
+		for j := 0; j < k; j++ {
+			for i := 0; i < us.Rows; i++ {
+				us.Set(i, j, us.At(i, j)*res.S[j])
+			}
+		}
+		back := NewMatrix(m, n)
+		Gemm(NoTrans, Trans, 1, us, res.V, 0, back)
+		if FrobDiff(back, a) > 1e-10*(1+a.FrobNorm()) {
+			t.Fatalf("SVD reconstruct %dx%d diff=%g", m, n, FrobDiff(back, a))
+		}
+		// Singular values descending and nonnegative.
+		for i := 1; i < k; i++ {
+			if res.S[i] > res.S[i-1]+1e-12 {
+				t.Fatalf("singular values not sorted: %v", res.S)
+			}
+			if res.S[i] < 0 {
+				t.Fatalf("negative singular value")
+			}
+		}
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values exactly 3 and 2.
+	a := FromSlice(2, 2, []float64{3, 0, 0, -2})
+	res := SVD(a)
+	if math.Abs(res.S[0]-3) > 1e-12 || math.Abs(res.S[1]-2) > 1e-12 {
+		t.Fatalf("SVD of diag(3,-2): %v", res.S)
+	}
+}
+
+func TestTruncationRank(t *testing.T) {
+	s := []float64{10, 5, 1, 0.1, 0.01}
+	cases := []struct {
+		tol  float64
+		want int
+	}{
+		{1e-9, 5},
+		{0.05, 4}, // drop 0.01 only: sqrt(0.0001)=0.01 <= 0.05; adding 0.1 → ~0.1005 > 0.05
+		{0.2, 3},  // drop {0.1, 0.01}: norm ≈ 0.1005 ≤ 0.2
+		{1e9, 0},  // drop everything
+	}
+	for _, c := range cases {
+		if got := TruncationRank(s, c.tol); got != c.want {
+			t.Fatalf("TruncationRank(tol=%g) = %d, want %d", c.tol, got, c.want)
+		}
+	}
+}
+
+// Property: QRCP at tolerance tol yields ‖A − QRPᵀ‖_F ≤ c·tol.
+func TestQRCPAccuracyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 4 + r.Intn(12)
+		n := 4 + r.Intn(12)
+		k := 1 + r.Intn(4)
+		a := RandomLowRank(r, m, n, k)
+		// Add small noise below the tolerance.
+		tol := 1e-6 * a.FrobNorm()
+		noise := Random(r, m, n)
+		noise.Scale(tol / (100 * noise.FrobNorm()))
+		a.Add(1, noise)
+		res := QRCP(a, tol, 0)
+		rp := UnpermuteColumns(res.R, res.Perm)
+		back := NewMatrix(m, n)
+		Gemm(NoTrans, NoTrans, 1, res.Q, rp, 0, back)
+		// Column-pivoted QR truncation error is bounded by ~sqrt(n)·tol.
+		return FrobDiff(back, a) <= 20*math.Sqrt(float64(n))*tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPotrfBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{64, 97, 200, 250} {
+		a := RandomSPD(rng, n)
+		blocked := a.Clone()
+		if err := PotrfBlocked(blocked, 32); err != nil {
+			t.Fatalf("blocked n=%d: %v", n, err)
+		}
+		plain := a.Clone()
+		if err := potrfUnblocked(plain); err != nil {
+			t.Fatal(err)
+		}
+		// Cholesky factors are unique: the lower triangles must agree.
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				d := blocked.At(i, j) - plain.At(i, j)
+				if d > 1e-9 || d < -1e-9 {
+					t.Fatalf("blocked factor differs at (%d,%d): %g vs %g",
+						i, j, blocked.At(i, j), plain.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestPotrfLargeUsesBlockedPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 2*potrfBlockSize + 11 // forces the blocked dispatch, uneven panels
+	a := RandomSPD(rng, n)
+	l := a.Clone()
+	if err := Potrf(l); err != nil {
+		t.Fatal(err)
+	}
+	if FrobDiff(LowerTimesTranspose(l), a) > 1e-9*a.FrobNorm() {
+		t.Fatalf("blocked dispatch lost accuracy")
+	}
+}
+
+func TestPotrfBlockedRejectsIndefinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := RandomSPD(rng, 150)
+	a.Set(100, 100, -5) // break definiteness deep in a trailing panel
+	a.Set(100, 100, -5)
+	if err := PotrfBlocked(a, 48); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package dense
+
+import (
+	"math"
+	"sort"
+)
+
+// SVDResult holds a (thin) singular value decomposition A = U·diag(S)·Vᵀ
+// with U m×k, S length k (descending), V n×k, for k = min(m,n).
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition of a using the
+// one-sided Jacobi method: orthogonalize the columns of A by plane
+// rotations; the resulting column norms are the singular values. The
+// method is slow for large matrices but extremely robust and accurate,
+// and in the TLR framework it is only ever applied to small
+// (rank+rank)² core matrices during recompression.
+func SVD(a *Matrix) SVDResult {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Work on the transpose and swap U and V at the end.
+		res := SVD(a.T())
+		return SVDResult{U: res.V, S: res.S, V: res.U}
+	}
+	u := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 60
+	eps := 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation zeroing the (p,q) entry of AᵀA.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Column norms are singular values; normalize U's columns.
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			val := u.At(i, j)
+			norm += val * val
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+	// Sort singular values descending, permuting U and V columns alike.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
+	us := NewMatrix(m, n)
+	vs := NewMatrix(n, n)
+	ss := make([]float64, n)
+	for jNew, jOld := range idx {
+		ss[jNew] = s[jOld]
+		for i := 0; i < m; i++ {
+			us.Set(i, jNew, u.At(i, jOld))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, jNew, v.At(i, jOld))
+		}
+	}
+	return SVDResult{U: us, S: ss, V: vs}
+}
+
+// TruncationRank returns the smallest k such that the discarded tail of
+// singular values satisfies sqrt(Σ_{i≥k} s_i²) ≤ tol. With tol treated as
+// an absolute Frobenius-norm threshold this matches the HiCMA fixed-
+// accuracy compression criterion.
+func TruncationRank(s []float64, tol float64) int {
+	var tail float64
+	k := len(s)
+	for i := len(s) - 1; i >= 0; i-- {
+		tail += s[i] * s[i]
+		if math.Sqrt(tail) > tol {
+			break
+		}
+		k = i
+	}
+	return k
+}

@@ -1,0 +1,230 @@
+// Package dist implements the tile-to-process data distributions of
+// the paper (Fig 3): the classic ScaLAPACK two-dimensional block-cyclic
+// distribution (2DBCDD), the Lorapo hybrid 1D+2D distribution, the band
+// distribution that keeps the critical-path TRSM on the same process as
+// its POTRF producer (Section VII-A), and the rank-aware diamond-shaped
+// distribution that skews the off-band 2DBC pattern to balance the
+// rank-heterogeneous workload (Section VII-B).
+//
+// A Remap pairs a data distribution (ownership, fixed by the user) with
+// an execution distribution: the runtime executes tasks at the remapped
+// process while the data keeps its original owner, breaking the
+// owner-computes convention exactly as PaRSEC allows.
+package dist
+
+import "fmt"
+
+// Distribution maps a lower-triangular tile (m,n), m ≥ n, to the MPI
+// process that owns (or executes on) it.
+type Distribution interface {
+	// RankOf returns the process of tile (m,n), in [0, Size()).
+	RankOf(m, n int) int
+	// Size returns the number of processes.
+	Size() int
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// TwoDBC is the ScaLAPACK two-dimensional block-cyclic distribution on
+// a P×Q process grid: tile (m,n) → (m mod P, n mod Q) (Fig 3a).
+type TwoDBC struct {
+	P, Q int
+}
+
+// RankOf implements Distribution.
+func (d TwoDBC) RankOf(m, n int) int { return (m%d.P)*d.Q + n%d.Q }
+
+// Size implements Distribution.
+func (d TwoDBC) Size() int { return d.P * d.Q }
+
+// Name implements Distribution.
+func (d TwoDBC) Name() string { return fmt.Sprintf("2dbc(%dx%d)", d.P, d.Q) }
+
+// OneDBC distributes tiles one-dimensionally and cyclically by their
+// column index: tile (m,n) → n mod size. On the diagonal band this
+// makes each panel's tiles live on one process.
+type OneDBC struct {
+	Procs int
+}
+
+// RankOf implements Distribution.
+func (d OneDBC) RankOf(m, n int) int { return n % d.Procs }
+
+// Size implements Distribution.
+func (d OneDBC) Size() int { return d.Procs }
+
+// Name implements Distribution.
+func (d OneDBC) Name() string { return fmt.Sprintf("1dbc(%d)", d.Procs) }
+
+// Hybrid is the Lorapo distribution (Fig 3b): tiles within Band of the
+// diagonal follow a 1D cyclic pattern over all processes; tiles beyond
+// follow 2DBC. Band=1 covers only the diagonal itself.
+type Hybrid struct {
+	Band int
+	Diag OneDBC
+	Off  TwoDBC
+}
+
+// NewHybrid builds the Lorapo hybrid over a P×Q grid with the given
+// band width (in tiles, ≥ 1).
+func NewHybrid(p, q, band int) Hybrid {
+	return Hybrid{Band: band, Diag: OneDBC{Procs: p * q}, Off: TwoDBC{P: p, Q: q}}
+}
+
+// RankOf implements Distribution.
+func (d Hybrid) RankOf(m, n int) int {
+	if m-n < d.Band {
+		return d.Diag.RankOf(m, n)
+	}
+	return d.Off.RankOf(m, n)
+}
+
+// Size implements Distribution.
+func (d Hybrid) Size() int { return d.Off.Size() }
+
+// Name implements Distribution.
+func (d Hybrid) Name() string { return fmt.Sprintf("lorapo-hybrid(band=%d,%s)", d.Band, d.Off.Name()) }
+
+// Band is the critical-path distribution of Section VII-A (Fig 3c): the
+// diagonal tile (k,k) and the subdiagonal tile (k+1,k) share the same
+// process, so the POTRF→TRSM dependency on the critical path becomes a
+// local transfer instead of a remote message. Off-band tiles follow the
+// provided distribution.
+type Band struct {
+	Procs int
+	Off   Distribution
+}
+
+// NewBand builds the band distribution over a P×Q grid with plain 2DBC
+// off the band.
+func NewBand(p, q int) Band {
+	return Band{Procs: p * q, Off: TwoDBC{P: p, Q: q}}
+}
+
+// RankOf implements Distribution.
+func (d Band) RankOf(m, n int) int {
+	if m-n <= 1 {
+		// Same process pattern for diagonal and subdiagonal: cyclic on the
+		// panel (column) index.
+		return n % d.Procs
+	}
+	return d.Off.RankOf(m, n)
+}
+
+// Size implements Distribution.
+func (d Band) Size() int { return d.Procs }
+
+// Name implements Distribution.
+func (d Band) Name() string { return fmt.Sprintf("band+%s", d.Off.Name()) }
+
+// Diamond is the rank-aware diamond-shaped distribution of Section
+// VII-B (Fig 3d): the 2DBC pattern is skewed along the diagonal by the
+// column-block index, so the ownership regions become diamonds. The
+// column process group stays at P processes (the q coordinate still
+// depends only on n), keeping the two column broadcasts
+// (POTRF→TRSMs, TRSM→GEMMs) as narrow as under 2DBC, while tiles at a
+// fixed distance from the diagonal — whose ranks, and therefore
+// workloads, are similar — rotate over all process rows, evening out
+// the rank-decay load that a rectangular 2DBC assigns lopsidedly.
+type Diamond struct {
+	P, Q int
+}
+
+// RankOf implements Distribution.
+func (d Diamond) RankOf(m, n int) int {
+	p := (m + n + n/d.Q) % d.P
+	q := n % d.Q
+	return p*d.Q + q
+}
+
+// Size implements Distribution.
+func (d Diamond) Size() int { return d.P * d.Q }
+
+// Name implements Distribution.
+func (d Diamond) Name() string { return fmt.Sprintf("diamond(%dx%d)", d.P, d.Q) }
+
+// BandDiamond composes the two optimizations of Section VII: band
+// distribution on |m−n| ≤ 1, diamond-shaped elsewhere. This is the
+// distribution HiCMA-PaRSEC runs with in Figs 7–14.
+func BandDiamond(p, q int) Band {
+	return Band{Procs: p * q, Off: Diamond{P: p, Q: q}}
+}
+
+// Grid returns the squarest P×Q factorization of nprocs with P ≤ Q, the
+// process-grid choice of Section VIII-A.
+func Grid(nprocs int) (p, q int) {
+	p = 1
+	for d := 1; d*d <= nprocs; d++ {
+		if nprocs%d == 0 {
+			p = d
+		}
+	}
+	return p, nprocs / p
+}
+
+// LoadImbalance evaluates a distribution against a per-tile workload:
+// it returns max(load)/avg(load) over processes (1.0 is perfect). The
+// workload function gives the cost of tile (m,n), m ≥ n.
+func LoadImbalance(d Distribution, nt int, work func(m, n int) float64) float64 {
+	loads := make([]float64, d.Size())
+	for m := 0; m < nt; m++ {
+		for n := 0; n <= m; n++ {
+			loads[d.RankOf(m, n)] += work(m, n)
+		}
+	}
+	var max, sum float64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	avg := sum / float64(len(loads))
+	return max / avg
+}
+
+// ColumnGroupSize returns the number of distinct processes owning tiles
+// of column n (rows n..nt−1), the span of the column broadcasts.
+func ColumnGroupSize(d Distribution, nt, n int) int {
+	seen := make(map[int]bool)
+	for m := n; m < nt; m++ {
+		seen[d.RankOf(m, n)] = true
+	}
+	return len(seen)
+}
+
+// RowGroupSize returns the number of distinct processes owning tiles of
+// row m (columns 0..m), the span of the row broadcast.
+func RowGroupSize(d Distribution, m int) int {
+	seen := make(map[int]bool)
+	for n := 0; n <= m; n++ {
+		seen[d.RankOf(m, n)] = true
+	}
+	return len(seen)
+}
+
+// Remap dissociates data ownership from task execution: Data gives the
+// tile's owner (where it lives before and after), Exec gives the
+// process that runs tasks writing that tile. When Exec is nil the
+// owner-computes convention applies.
+type Remap struct {
+	Data Distribution
+	Exec Distribution
+}
+
+// ExecRankOf returns the process executing tasks that write tile (m,n).
+func (r Remap) ExecRankOf(m, n int) int {
+	if r.Exec == nil {
+		return r.Data.RankOf(m, n)
+	}
+	return r.Exec.RankOf(m, n)
+}
+
+// OwnerRankOf returns the process owning tile (m,n)'s storage.
+func (r Remap) OwnerRankOf(m, n int) int { return r.Data.RankOf(m, n) }
+
+// Size returns the number of processes.
+func (r Remap) Size() int { return r.Data.Size() }

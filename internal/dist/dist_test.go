@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoDBCPattern(t *testing.T) {
+	d := TwoDBC{P: 2, Q: 3}
+	if d.Size() != 6 {
+		t.Fatalf("size")
+	}
+	if d.RankOf(0, 0) != 0 || d.RankOf(1, 0) != 3 || d.RankOf(0, 1) != 1 {
+		t.Fatalf("2dbc pattern wrong: %d %d %d", d.RankOf(0, 0), d.RankOf(1, 0), d.RankOf(0, 1))
+	}
+	// Cyclic with period P in m and Q in n.
+	if d.RankOf(7, 4) != d.RankOf(7%2, 4%3) {
+		t.Fatalf("not cyclic")
+	}
+}
+
+func TestRanksInRange(t *testing.T) {
+	nt := 20
+	dists := []Distribution{
+		TwoDBC{P: 2, Q: 3},
+		OneDBC{Procs: 6},
+		NewHybrid(2, 3, 1),
+		NewBand(2, 3),
+		Diamond{P: 2, Q: 3},
+		BandDiamond(2, 3),
+	}
+	for _, d := range dists {
+		for m := 0; m < nt; m++ {
+			for n := 0; n <= m; n++ {
+				r := d.RankOf(m, n)
+				if r < 0 || r >= d.Size() {
+					t.Fatalf("%s: rank %d out of range at (%d,%d)", d.Name(), r, m, n)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridBandUsesOneD(t *testing.T) {
+	d := NewHybrid(2, 3, 1)
+	for k := 0; k < 12; k++ {
+		if d.RankOf(k, k) != k%6 {
+			t.Fatalf("diagonal should be 1D cyclic")
+		}
+	}
+	// Off-band follows 2DBC.
+	if d.RankOf(5, 1) != (TwoDBC{P: 2, Q: 3}).RankOf(5, 1) {
+		t.Fatalf("off-band should be 2DBC")
+	}
+}
+
+func TestBandCriticalPathLocality(t *testing.T) {
+	// The defining property of Section VII-A: POTRF(k) on tile (k,k) and
+	// the critical-path TRSM on tile (k+1,k) run on the same process.
+	d := NewBand(2, 3)
+	for k := 0; k < 30; k++ {
+		if d.RankOf(k, k) != d.RankOf(k+1, k) {
+			t.Fatalf("band distribution must co-locate (k,k) and (k+1,k) at k=%d", k)
+		}
+	}
+	bd := BandDiamond(2, 3)
+	for k := 0; k < 30; k++ {
+		if bd.RankOf(k, k) != bd.RankOf(k+1, k) {
+			t.Fatalf("band+diamond must co-locate the critical path at k=%d", k)
+		}
+	}
+}
+
+func TestDiamondColumnGroupOptimal(t *testing.T) {
+	// Section VII-B: the diamond keeps the column process group as narrow
+	// as 2DBC (P processes), because the q coordinate depends only on n.
+	nt := 24
+	p, q := 2, 3
+	dd := Diamond{P: p, Q: q}
+	bc := TwoDBC{P: p, Q: q}
+	for n := 0; n < nt-p; n++ {
+		dg := ColumnGroupSize(dd, nt, n)
+		bg := ColumnGroupSize(bc, nt, n)
+		if dg > bg {
+			t.Fatalf("column group of diamond (%d) exceeds 2DBC (%d) at n=%d", dg, bg, n)
+		}
+		if dg > p {
+			t.Fatalf("column group must be at most P=%d, got %d", p, dg)
+		}
+	}
+}
+
+func TestDiamondRowGroupMayGrow(t *testing.T) {
+	// The paper accepts a wider row process group for the diamond (only
+	// one small row broadcast crosses it). Just verify it stays bounded
+	// by the total process count.
+	dd := Diamond{P: 2, Q: 3}
+	for m := 5; m < 20; m++ {
+		if g := RowGroupSize(dd, m); g > dd.Size() {
+			t.Fatalf("row group %d exceeds process count", g)
+		}
+	}
+}
+
+// rankDecayWork models the paper's workload: tiles near the diagonal
+// carry much higher ranks (and flops) than far ones.
+func rankDecayWork(m, n int) float64 {
+	d := m - n
+	if d == 0 {
+		return 0 // diagonal handled by the band distribution
+	}
+	return math.Exp(-float64(d) / 3)
+}
+
+func TestDiamondBalancesRankDecayBetterThan2DBC(t *testing.T) {
+	// The load-balance claim of Section VII-B, evaluated on the rank-decay
+	// workload for the configurations used in the experiments.
+	for _, grid := range [][2]int{{2, 2}, {2, 3}, {2, 4}, {4, 4}, {4, 8}} {
+		p, q := grid[0], grid[1]
+		nt := 16 * q
+		bcImb := LoadImbalance(TwoDBC{P: p, Q: q}, nt, rankDecayWork)
+		ddImb := LoadImbalance(Diamond{P: p, Q: q}, nt, rankDecayWork)
+		if ddImb > bcImb*1.02 {
+			t.Fatalf("grid %dx%d: diamond imbalance %.3f worse than 2DBC %.3f",
+				p, q, ddImb, bcImb)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cases := []struct{ n, p, q int }{
+		{1, 1, 1}, {6, 2, 3}, {16, 4, 4}, {32, 4, 8}, {512, 16, 32}, {7, 1, 7},
+	}
+	for _, c := range cases {
+		p, q := Grid(c.n)
+		if p != c.p || q != c.q {
+			t.Fatalf("Grid(%d) = %dx%d, want %dx%d", c.n, p, q, c.p, c.q)
+		}
+		if p > q || p*q != c.n {
+			t.Fatalf("Grid(%d) invalid: %dx%d", c.n, p, q)
+		}
+	}
+}
+
+func TestLoadImbalanceUniform(t *testing.T) {
+	// Uniform work on a divisible grid should be nearly perfectly balanced
+	// under 2DBC.
+	imb := LoadImbalance(TwoDBC{P: 2, Q: 2}, 40, func(m, n int) float64 { return 1 })
+	if imb > 1.15 {
+		t.Fatalf("uniform 2DBC imbalance too high: %g", imb)
+	}
+}
+
+func TestRemapOwnerVsExec(t *testing.T) {
+	data := TwoDBC{P: 2, Q: 3}
+	exec := BandDiamond(2, 3)
+	r := Remap{Data: data, Exec: exec}
+	if r.OwnerRankOf(5, 2) != data.RankOf(5, 2) {
+		t.Fatalf("owner must follow data distribution")
+	}
+	if r.ExecRankOf(5, 2) != exec.RankOf(5, 2) {
+		t.Fatalf("exec must follow exec distribution")
+	}
+	ownerOnly := Remap{Data: data}
+	if ownerOnly.ExecRankOf(5, 2) != data.RankOf(5, 2) {
+		t.Fatalf("nil exec must mean owner-computes")
+	}
+	if r.Size() != 6 {
+		t.Fatalf("size")
+	}
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	dists := []Distribution{
+		TwoDBC{P: 2, Q: 3},
+		OneDBC{Procs: 6},
+		NewHybrid(2, 3, 1),
+		NewBand(2, 3),
+		Diamond{P: 2, Q: 3},
+		BandDiamond(2, 3),
+	}
+	seen := map[string]bool{}
+	for _, d := range dists {
+		name := d.Name()
+		if name == "" {
+			t.Fatalf("empty name")
+		}
+		if seen[name] {
+			t.Fatalf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}

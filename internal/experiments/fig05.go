@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+)
+
+// Fig05Point is one tile-size setting of Fig 5.
+type Fig05Point struct {
+	B            int
+	NT           int
+	Time         float64
+	CriticalPath float64
+	Tasks        int
+}
+
+// Fig05Result reproduces Fig 5: the impact of the tile size on
+// time-to-solution, critical-path time and task count. The
+// time-to-solution curve is bell-shaped (inverted): large tiles make
+// the dense-diagonal critical path dominate, small tiles explode the
+// task count and its runtime overheads.
+type Fig05Result struct {
+	Machine string
+	Nodes   int
+	N       int
+	Points  []Fig05Point
+}
+
+// Fig05 runs the tile-size sweep on 16 Shaheen II nodes with the
+// paper's 4.49M operator.
+func Fig05(scale float64) *Fig05Result {
+	n := int(4.49e6 * scale)
+	res := &Fig05Result{Machine: sim.ShaheenII.Name, Nodes: 16, N: n}
+	for _, b := range []int{610, 1220, 2440, 4880, 9760, 19520, 39040} {
+		if n/b < 8 {
+			continue
+		}
+		model := ranks.FromShape(ranks.PaperGeometry(n, b, PaperShape, PaperTol))
+		cfg := HiCMAParsec(sim.ShaheenII, res.Nodes)
+		r := sim.Estimate(model, cfg, sim.EstOptions{Trimmed: true})
+		res.Points = append(res.Points, Fig05Point{
+			B: b, NT: model.NTiles,
+			Time:         r.Makespan,
+			CriticalPath: r.CriticalPathTime,
+			Tasks:        r.Tasks,
+		})
+	}
+	return res
+}
+
+// Optimum returns the tile size with the minimal time-to-solution.
+func (r *Fig05Result) Optimum() Fig05Point {
+	best := r.Points[0]
+	for _, p := range r.Points[1:] {
+		if p.Time < best.Time {
+			best = p
+		}
+	}
+	return best
+}
+
+// Tables renders the figure.
+func (r *Fig05Result) Tables() []Table {
+	t := Table{
+		Title: fmt.Sprintf("Fig 5: tile size impact — %d nodes %s, N=%.2fM",
+			r.Nodes, r.Machine, float64(r.N)/1e6),
+		Header: []string{"tile b", "NT", "time", "critical path", "tasks"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%d", p.B), fmt.Sprintf("%d", p.NT),
+			fmtTime(p.Time), fmtTime(p.CriticalPath), fmt.Sprintf("%d", p.Tasks))
+	}
+	t.Note("optimum b=%d: below it task count dominates, above it the critical path does (bell-shaped time curve)", r.Optimum().B)
+	return []Table{t}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tlrchol/internal/dist"
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+	"tlrchol/internal/trim"
+)
+
+// Fig06Point is one (matrix size, node count) cell of Fig 6 (left).
+type Fig06Point struct {
+	N        int
+	Nodes    int
+	TimeTrim float64
+	TimeFull float64
+}
+
+// Fig06Overhead is one matrix size of Fig 6 (right): the cost of the
+// Algorithm 1 analysis itself.
+type Fig06Overhead struct {
+	N             int
+	NT            int
+	AnalysisTime  time.Duration
+	AnalysisBytes int
+	// DistributedBytes is the per-process footprint of the distributed
+	// analysis variant on 64 processes (GEMM lists only for local
+	// tiles), demonstrating the memory-limiting claim at the end of
+	// Section VI.
+	DistributedBytes int
+	// PctOfFactorization is the analysis time as a percentage of the
+	// factorization time on 64 nodes.
+	PctOfFactorization float64
+}
+
+// Fig06Result reproduces Fig 6: the effect of DAG trimming on elapsed
+// time across matrix sizes and node counts (left), and the time/memory
+// overhead of the trimming analysis (right).
+type Fig06Result struct {
+	Points    []Fig06Point
+	Overheads []Fig06Overhead
+}
+
+// Fig06 runs the experiment at the paper's tile size.
+func Fig06(scale float64) *Fig06Result {
+	res := &Fig06Result{}
+	sizes := []float64{1.49e6, 4.49e6, 8.96e6, 11.95e6}
+	for _, nf := range sizes {
+		n := int(nf * scale)
+		model := ranks.FromShape(ranks.PaperGeometry(n, PaperTile, PaperShape, PaperTol))
+		for _, nodes := range []int{64, 256, 512} {
+			cfg := HiCMAParsec(sim.ShaheenII, nodes)
+			rT := sim.Estimate(model, cfg, sim.EstOptions{Trimmed: true})
+			rF := sim.Estimate(model, cfg, sim.EstOptions{Trimmed: false})
+			res.Points = append(res.Points, Fig06Point{
+				N: n, Nodes: nodes, TimeTrim: rT.Makespan, TimeFull: rF.Makespan,
+			})
+		}
+		// Right panel: run the real Algorithm 1 (with lists, the
+		// shared-memory variant) and meter it; also the distributed
+		// variant restricted to process 0's tiles on a 64-process grid.
+		a := trim.Analyze(modelRanks{model}, trim.AllLocal)
+		p, q := dist.Grid(64)
+		grid := dist.TwoDBC{P: p, Q: q}
+		aDist := trim.Analyze(modelRanks{model}, func(m, n int) bool {
+			return grid.RankOf(m, n) == 0
+		})
+		r64 := sim.Estimate(model, HiCMAParsec(sim.ShaheenII, 64), sim.EstOptions{Trimmed: true})
+		res.Overheads = append(res.Overheads, Fig06Overhead{
+			N: n, NT: model.NTiles,
+			AnalysisTime:       a.AnalysisTime,
+			AnalysisBytes:      a.AnalysisBytes,
+			DistributedBytes:   aDist.AnalysisBytes,
+			PctOfFactorization: 100 * a.AnalysisTime.Seconds() / r64.Makespan,
+		})
+	}
+	return res
+}
+
+// Tables renders the figure.
+func (r *Fig06Result) Tables() []Table {
+	left := Table{
+		Title:  "Fig 6 (left): effect of DAG trimming on elapsed time (Shaheen II)",
+		Header: []string{"N", "nodes", "t(trim)", "t(no trim)", "gain"},
+	}
+	for _, p := range r.Points {
+		left.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6), fmt.Sprintf("%d", p.Nodes),
+			fmtTime(p.TimeTrim), fmtTime(p.TimeFull),
+			fmt.Sprintf("%.2fx", p.TimeFull/p.TimeTrim))
+	}
+	left.Note("the trimming benefit grows with both the problem size and the node count")
+	right := Table{
+		Title:  "Fig 6 (right): overhead of the Algorithm 1 analysis",
+		Header: []string{"N", "NT", "analysis time", "memory (shared)", "memory (per proc, 64)", "% of facto (64 nodes)"},
+	}
+	for _, o := range r.Overheads {
+		right.Add(fmt.Sprintf("%.2fM", float64(o.N)/1e6), fmt.Sprintf("%d", o.NT),
+			o.AnalysisTime.Round(time.Microsecond).String(), fmtMB(float64(o.AnalysisBytes)),
+			fmtMB(float64(o.DistributedBytes)),
+			fmt.Sprintf("%.3f%%", o.PctOfFactorization))
+	}
+	right.Note("both the time and the memory footprint of the analysis are negligible")
+	return []Table{left, right}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlrchol/internal/dist"
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+)
+
+// Fig07Point is one (size, nodes) cell of Fig 7.
+type Fig07Point struct {
+	N     int
+	Nodes int
+	// Base is owner-computes 2DBC; Band adds the critical-path band
+	// distribution; Diamond additionally remaps off-band execution to
+	// the rank-aware diamond.
+	Base, Band, Diamond float64
+}
+
+// Fig07Result reproduces Fig 7: the incremental effect of the two
+// runtime optimizations of Section VII — the band distribution
+// (reducing critical-path communication) and the rank-aware
+// diamond-shaped distribution (balancing off-band workload).
+type Fig07Result struct {
+	Points []Fig07Point
+}
+
+// Fig07 runs the incremental comparison on Shaheen II, trimming on.
+func Fig07(scale float64) *Fig07Result {
+	res := &Fig07Result{}
+	for _, nf := range []float64{1.49e6, 4.49e6, 8.96e6, 11.95e6} {
+		n := int(nf * scale)
+		model := ranks.FromShape(ranks.PaperGeometry(n, PaperTile, PaperShape, PaperTol))
+		for _, nodes := range []int{64, 256, 512} {
+			p, q := dist.Grid(nodes)
+			data := dist.TwoDBC{P: p, Q: q}
+			base := sim.Config{Machine: sim.ShaheenII, Nodes: nodes,
+				Remap: dist.Remap{Data: data}}
+			band := sim.Config{Machine: sim.ShaheenII, Nodes: nodes,
+				Remap: dist.Remap{Data: data, Exec: dist.NewBand(p, q)}}
+			diamond := sim.Config{Machine: sim.ShaheenII, Nodes: nodes,
+				Remap: dist.Remap{Data: data, Exec: dist.BandDiamond(p, q)}}
+			opt := sim.EstOptions{Trimmed: true}
+			res.Points = append(res.Points, Fig07Point{
+				N: n, Nodes: nodes,
+				Base:    sim.Estimate(model, base, opt).Makespan,
+				Band:    sim.Estimate(model, band, opt).Makespan,
+				Diamond: sim.Estimate(model, diamond, opt).Makespan,
+			})
+		}
+	}
+	return res
+}
+
+// MaxBandSpeedup returns the largest band-over-base speedup (paper: up
+// to 1.60x).
+func (r *Fig07Result) MaxBandSpeedup() float64 {
+	var mx float64
+	for _, p := range r.Points {
+		if s := p.Base / p.Band; s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// MaxDiamondSpeedup returns the largest diamond-over-band speedup
+// (paper: up to 1.55x).
+func (r *Fig07Result) MaxDiamondSpeedup() float64 {
+	var mx float64
+	for _, p := range r.Points {
+		if s := p.Band / p.Diamond; s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Tables renders the figure.
+func (r *Fig07Result) Tables() []Table {
+	t := Table{
+		Title:  "Fig 7: incremental effect of the runtime optimizations (Shaheen II, trimming on)",
+		Header: []string{"N", "nodes", "2dbc", "+band", "+diamond", "band gain", "diamond gain"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6), fmt.Sprintf("%d", p.Nodes),
+			fmtTime(p.Base), fmtTime(p.Band), fmtTime(p.Diamond),
+			fmt.Sprintf("%.2fx", p.Base/p.Band),
+			fmt.Sprintf("%.2fx", p.Band/p.Diamond))
+	}
+	t.Note("max band gain %.2fx (paper: up to 1.60x); max diamond gain %.2fx (paper: up to 1.55x)",
+		r.MaxBandSpeedup(), r.MaxDiamondSpeedup())
+	return []Table{t}
+}

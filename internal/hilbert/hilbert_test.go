@@ -1,0 +1,88 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBijectiveSmallGrid(t *testing.T) {
+	const bits = 3
+	n := uint32(1) << bits // 8³ = 512 cells
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < n; x++ {
+		for y := uint32(0); y < n; y++ {
+			for z := uint32(0); z < n; z++ {
+				h := Index3D(x, y, z, bits)
+				if h >= uint64(n)*uint64(n)*uint64(n) {
+					t.Fatalf("index %d out of range for (%d,%d,%d)", h, x, y, z)
+				}
+				if seen[h] {
+					t.Fatalf("duplicate index %d at (%d,%d,%d)", h, x, y, z)
+				}
+				seen[h] = true
+				gx, gy, gz := Coords3D(h, bits)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, h, gx, gy, gz)
+				}
+			}
+		}
+	}
+	if len(seen) != int(n*n*n) {
+		t.Fatalf("not a bijection: %d of %d indices", len(seen), n*n*n)
+	}
+}
+
+// The defining locality property of the Hilbert curve: consecutive
+// indices are adjacent grid cells (Manhattan distance exactly 1).
+func TestAdjacency(t *testing.T) {
+	const bits = 4
+	total := uint64(1) << (3 * bits)
+	px, py, pz := Coords3D(0, bits)
+	for h := uint64(1); h < total; h++ {
+		x, y, z := Coords3D(h, bits)
+		d := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if d != 1 {
+			t.Fatalf("indices %d and %d are not adjacent: (%d,%d,%d) vs (%d,%d,%d)",
+				h-1, h, px, py, pz, x, y, z)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		const bits = 16
+		mask := uint32(1)<<bits - 1
+		x, y, z = x&mask, y&mask, z&mask
+		h := Index3D(x, y, z, bits)
+		gx, gy, gz := Coords3D(h, bits)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOriginIsZero(t *testing.T) {
+	for bits := uint(1); bits <= 21; bits++ {
+		if Index3D(0, 0, 0, bits) != 0 {
+			t.Fatalf("origin should map to 0 at bits=%d", bits)
+		}
+	}
+}
+
+func TestBitsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for bits=0")
+		}
+	}()
+	Index3D(0, 0, 0, 0)
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,146 @@
+// Package ptg is a Parameterized Task Graph front end over the task
+// runtime, modeled on PaRSEC's PTG/JDF DSL (Section IV-A of the
+// paper): an algorithm is described as a small set of task *classes*,
+// each with a parameter space and dataflow declarations, instead of
+// being enumerated imperatively. The program instantiates every task
+// in the declared spaces and derives the dependency edges from the
+// data accesses — the concise-but-complete task-graph description the
+// paper contrasts with sequential task insertion.
+//
+// The execution space of a class is a function of the problem
+// structure, which is exactly where DAG trimming plugs in: a trimmed
+// algorithm simply declares smaller spaces (see the Cholesky program
+// in the tests, whose spaces come from a trim.Structure).
+package ptg
+
+import (
+	"fmt"
+	"sort"
+
+	"tlrchol/internal/runtime"
+)
+
+// Params is the index tuple identifying one task instance of a class.
+type Params [3]int
+
+// DataRef names a logical datum (e.g. a tile) accessed by a task.
+type DataRef struct {
+	Name string
+	I, J int
+}
+
+// Class is one parameterized task class.
+type Class struct {
+	// Name identifies the class in labels.
+	Name string
+	// Space enumerates the parameter tuples of all instances.
+	Space func() []Params
+	// Reads and Writes declare the dataflow of an instance.
+	Reads  func(p Params) []DataRef
+	Writes func(p Params) []DataRef
+	// Priority orders instances (higher first); nil means 0.
+	Priority func(p Params) int64
+	// Body executes an instance; nil bodies are structural no-ops.
+	Body func(p Params) error
+}
+
+// Program is a set of task classes instantiated in declaration order
+// (the order defines the sequential semantics the dependencies
+// preserve, exactly like statement order in the JDF's source
+// algorithm).
+type Program struct {
+	Classes []Class
+}
+
+// Instantiate unrolls the program into a task graph: instances are
+// created class by class in the order Space yields them, and
+// dependencies are inferred from the read/write declarations with the
+// usual RAW/WAR/WAW hazard rules.
+func (pr Program) Instantiate() (*runtime.Graph, error) {
+	in := runtime.NewInserter()
+	for _, c := range pr.Classes {
+		if c.Space == nil {
+			return nil, fmt.Errorf("ptg: class %s has no space", c.Name)
+		}
+		for _, p := range c.Space() {
+			p := p
+			var acc []runtime.Access
+			if c.Reads != nil {
+				for _, r := range c.Reads(p) {
+					acc = append(acc, runtime.R(r))
+				}
+			}
+			if c.Writes != nil {
+				for _, w := range c.Writes(p) {
+					acc = append(acc, runtime.W(w))
+				}
+			}
+			var prio int64
+			if c.Priority != nil {
+				prio = c.Priority(p)
+			}
+			var body func() error
+			if c.Body != nil {
+				body = func() error { return c.Body(p) }
+			}
+			in.Insert(fmt.Sprintf("%s(%d,%d,%d)", c.Name, p[0], p[1], p[2]), prio, body, acc...)
+		}
+	}
+	return in.Graph(), nil
+}
+
+// Interleaved unrolls the program with the classes interleaved by a
+// caller-provided order key instead of class-by-class: tasks across
+// classes are sorted by key and inserted in that order. Tile Cholesky
+// needs this (the panel loop interleaves POTRF/TRSM/SYRK/GEMM across
+// k), and it mirrors how the JDF's owner algorithm orders statements.
+func (pr Program) Interleaved(key func(class string, p Params) int64) (*runtime.Graph, error) {
+	type inst struct {
+		class *Class
+		p     Params
+		k     int64
+		seq   int
+	}
+	var all []inst
+	for ci := range pr.Classes {
+		c := &pr.Classes[ci]
+		if c.Space == nil {
+			return nil, fmt.Errorf("ptg: class %s has no space", c.Name)
+		}
+		for _, p := range c.Space() {
+			all = append(all, inst{class: c, p: p, k: key(c.Name, p), seq: len(all)})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].k != all[j].k {
+			return all[i].k < all[j].k
+		}
+		return all[i].seq < all[j].seq
+	})
+	in := runtime.NewInserter()
+	for _, it := range all {
+		c, p := it.class, it.p
+		var acc []runtime.Access
+		if c.Reads != nil {
+			for _, r := range c.Reads(p) {
+				acc = append(acc, runtime.R(r))
+			}
+		}
+		if c.Writes != nil {
+			for _, w := range c.Writes(p) {
+				acc = append(acc, runtime.W(w))
+			}
+		}
+		var prio int64
+		if c.Priority != nil {
+			prio = c.Priority(p)
+		}
+		var body func() error
+		if c.Body != nil {
+			p := p
+			body = func() error { return c.Body(p) }
+		}
+		in.Insert(fmt.Sprintf("%s(%d,%d,%d)", c.Name, p[0], p[1], p[2]), prio, body, acc...)
+	}
+	return in.Graph(), nil
+}

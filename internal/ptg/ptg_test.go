@@ -1,0 +1,207 @@
+package ptg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+	"tlrchol/internal/trim"
+)
+
+// choleskyProgram expresses the (possibly trimmed) tile Cholesky as a
+// PTG program over a tile matrix — the JDF-style description of the
+// paper's algorithm. The execution spaces come straight from the
+// trim.Structure, which is how DAG trimming reaches the DSL.
+func choleskyProgram(m *tilemat.Matrix, s trim.Structure, tol float64) Program {
+	tile := func(i, j int) DataRef { return DataRef{Name: "A", I: i, J: j} }
+	nt := s.NT()
+	cfg := tlr.GemmConfig{Tol: tol}
+	return Program{Classes: []Class{
+		{
+			Name: "potrf",
+			Space: func() []Params {
+				out := make([]Params, nt)
+				for k := range out {
+					out[k] = Params{k, 0, 0}
+				}
+				return out
+			},
+			Writes: func(p Params) []DataRef { return []DataRef{tile(p[0], p[0])} },
+			Body: func(p Params) error {
+				return dense.Potrf(m.At(p[0], p[0]).D)
+			},
+		},
+		{
+			Name: "trsm",
+			Space: func() []Params {
+				var out []Params
+				for k := 0; k < nt; k++ {
+					for i := 0; i < s.NbTrsm(k); i++ {
+						out = append(out, Params{k, s.TrsmAt(k, i), 0})
+					}
+				}
+				return out
+			},
+			Reads:  func(p Params) []DataRef { return []DataRef{tile(p[0], p[0])} },
+			Writes: func(p Params) []DataRef { return []DataRef{tile(p[1], p[0])} },
+			Body: func(p Params) error {
+				tlr.Trsm(m.At(p[0], p[0]).D, m.At(p[1], p[0]))
+				return nil
+			},
+		},
+		{
+			Name: "syrk",
+			Space: func() []Params {
+				var out []Params
+				for k := 0; k < nt; k++ {
+					for i := 0; i < s.NbTrsm(k); i++ {
+						out = append(out, Params{k, s.TrsmAt(k, i), 0})
+					}
+				}
+				return out
+			},
+			Reads:  func(p Params) []DataRef { return []DataRef{tile(p[1], p[0])} },
+			Writes: func(p Params) []DataRef { return []DataRef{tile(p[1], p[1])} },
+			Body: func(p Params) error {
+				tlr.Syrk(m.At(p[1], p[0]), m.At(p[1], p[1]).D)
+				return nil
+			},
+		},
+		{
+			Name: "gemm",
+			Space: func() []Params {
+				var out []Params
+				for k := 0; k < nt; k++ {
+					for i := 0; i < s.NbTrsm(k); i++ {
+						for j := 0; j < i; j++ {
+							out = append(out, Params{k, s.TrsmAt(k, i), s.TrsmAt(k, j)})
+						}
+					}
+				}
+				return out
+			},
+			Reads: func(p Params) []DataRef {
+				return []DataRef{tile(p[1], p[0]), tile(p[2], p[0])}
+			},
+			Writes: func(p Params) []DataRef { return []DataRef{tile(p[1], p[2])} },
+			Body: func(p Params) error {
+				m.Set(p[1], p[2], tlr.Gemm(m.At(p[1], p[0]), m.At(p[2], p[0]), m.At(p[1], p[2]), cfg))
+				return nil
+			},
+		},
+	}}
+}
+
+// panelOrder interleaves the classes by panel index with the
+// sequential-semantics order POTRF < TRSM < SYRK/GEMM within a panel.
+func panelOrder(class string, p Params) int64 {
+	k := int64(p[0])
+	switch class {
+	case "potrf":
+		return 4 * k
+	case "trsm":
+		return 4*k + 1
+	default:
+		return 4*k + 2
+	}
+}
+
+func TestPTGCholeskyMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := dense.RandomSPD(rng, 256)
+	mPTG, _ := tilemat.FromDense(a, 64, 1e-10, 0)
+	mCore := mPTG.Clone()
+
+	s := core.Structure(mPTG, true)
+	g, err := choleskyProgram(mPTG, s, 1e-10).Interleaved(panelOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Factorize(mCore, core.Options{Tol: 1e-10, Trim: true, Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ePTG, eCore := core.FactorError(mPTG, a), core.FactorError(mCore, a)
+	if ePTG > 10*eCore+1e-8 {
+		t.Fatalf("PTG-built factorization diverged: %g vs %g", ePTG, eCore)
+	}
+	// Task counts match the analytic construction.
+	p, tr, sy, ge := trim.TaskCounts(s)
+	if g.Tasks() != p+tr+sy+ge {
+		t.Fatalf("PTG instantiated %d tasks, structure says %d", g.Tasks(), p+tr+sy+ge)
+	}
+}
+
+func TestPTGTrimmedSpacesShrink(t *testing.T) {
+	// A sparse structure declared through the DSL yields fewer instances
+	// than the full program — trimming as execution-space reduction.
+	nt := 8
+	rk := make([][]int, nt)
+	for i := range rk {
+		rk[i] = make([]int, i)
+		if i >= 1 {
+			rk[i][i-1] = 3 // band-only structure
+		}
+	}
+	m := tilemat.New(nt*16, 16)
+	sTrim := trim.Analyze(trim.Ranks{N: nt, R: rk}, trim.AllLocal)
+	gTrim, err := choleskyProgram(m, sTrim, 1e-8).Interleaved(panelOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gFull, err := choleskyProgram(m, trim.Full{Nt: nt}, 1e-8).Interleaved(panelOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gTrim.Tasks() >= gFull.Tasks() {
+		t.Fatalf("trimmed program must have fewer instances: %d vs %d",
+			gTrim.Tasks(), gFull.Tasks())
+	}
+}
+
+func TestPTGMissingSpace(t *testing.T) {
+	_, err := Program{Classes: []Class{{Name: "bad"}}}.Instantiate()
+	if err == nil {
+		t.Fatalf("expected error for class without a space")
+	}
+}
+
+func TestPTGInstantiateSimple(t *testing.T) {
+	// A two-class producer/consumer program gets exactly one edge.
+	ran := map[string]bool{}
+	pr := Program{Classes: []Class{
+		{
+			Name:   "produce",
+			Space:  func() []Params { return []Params{{0, 0, 0}} },
+			Writes: func(p Params) []DataRef { return []DataRef{{Name: "x"}} },
+			Body:   func(p Params) error { ran["produce"] = true; return nil },
+		},
+		{
+			Name:  "consume",
+			Space: func() []Params { return []Params{{0, 0, 0}} },
+			Reads: func(p Params) []DataRef { return []DataRef{{Name: "x"}} },
+			Body: func(p Params) error {
+				if !ran["produce"] {
+					return fmt.Errorf("consumed before produced")
+				}
+				return nil
+			},
+		},
+	}}
+	g, err := pr.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("expected 1 edge, got %d", g.Edges())
+	}
+	if _, err := g.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package ranks
+
+import (
+	"testing"
+
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+func TestModelBasics(t *testing.T) {
+	m := Model{NTiles: 10, TileB: 64, MaxRank: 16, DecayTiles: 2, CutoffTiles: 4}
+	if m.Rank(0, 0) != 64 {
+		t.Fatalf("diagonal must be full")
+	}
+	if m.Rank(1, 0) != 16 {
+		t.Fatalf("adjacent rank must be MaxRank, got %d", m.Rank(1, 0))
+	}
+	if m.Rank(9, 0) != 0 {
+		t.Fatalf("beyond cutoff must be null")
+	}
+	if m.Rank(4, 0) < 1 || m.Rank(4, 0) > 16 {
+		t.Fatalf("inside cutoff must be non-zero and ≤ MaxRank")
+	}
+	// Monotone decay.
+	prev := m.Rank(1, 0)
+	for d := 2; d <= 4; d++ {
+		r := m.Rank(d, 0)
+		if r > prev {
+			t.Fatalf("rank should decay with distance")
+		}
+		prev = r
+	}
+}
+
+func TestModelDensityMatchesDirectCount(t *testing.T) {
+	m := Model{NTiles: 12, TileB: 32, MaxRank: 8, DecayTiles: 1.5, CutoffTiles: 3}
+	if got, want := m.Density(), Density(m); got != want {
+		t.Fatalf("Density() %g != direct count %g", got, want)
+	}
+}
+
+func TestFromMatrixAdapter(t *testing.T) {
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(512))
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts)})
+	tm, _ := tilemat.FromAssembler(512, 64, prob.Block, 1e-4, 0)
+	f := FromMatrix{M: tm}
+	if f.NT() != tm.NT || f.B() != 64 {
+		t.Fatalf("adapter dims wrong")
+	}
+	if f.Rank(3, 1) != tm.At(3, 1).Rank() {
+		t.Fatalf("adapter rank wrong")
+	}
+}
+
+// The calibration test: the synthetic model must reproduce the density
+// and rank scale of a real RBF compression within a factor of ~2, and
+// its density must respond to the shape parameter in the same
+// direction. This validates using the model at simulator scales.
+func TestModelCalibratedAgainstRealCompression(t *testing.T) {
+	n, b := 2048, 128
+	tol := 1e-4
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	base := rbf.DefaultShape(pts) // ≈ spacing/2
+	for _, factor := range []float64{2, 4, 8} {
+		delta := factor * base
+		prob, _ := rbf.NewProblem(append([]rbf.Point(nil), pts...), rbf.Gaussian{Delta: delta})
+		tm, _ := tilemat.FromAssembler(n, b, prob.Block, tol, 0)
+		real := FromMatrix{M: tm}
+		model := FromShape(RBFGeometry{
+			N: n, B: b, Delta: delta, Tol: tol,
+			Spacing: 2 * base, CubeEdge: 1.7,
+		})
+		dReal, dModel := Density(real), model.Density()
+		if dModel < dReal/2.5 || dModel > dReal*2.5+0.05 {
+			t.Errorf("factor %g: model density %.3f vs real %.3f", factor, dModel, dReal)
+		}
+		rReal, rModel := MaxObservedRank(real), model.MaxRank
+		if rModel < rReal/3 || rModel > rReal*3 {
+			t.Errorf("factor %g: model max rank %d vs real %d", factor, rModel, rReal)
+		}
+	}
+}
+
+func TestModelDensityIncreasesWithShape(t *testing.T) {
+	prev := -1.0
+	for _, delta := range []float64{1e-4, 1e-3, 1e-2, 5e-2} {
+		m := FromShape(PaperGeometry(1<<20, 2048, delta, 1e-4))
+		d := m.Density()
+		if d < prev {
+			t.Fatalf("density must not decrease with shape parameter: %g -> %g at delta=%g",
+				prev, d, delta)
+		}
+		prev = d
+	}
+}
+
+func TestFillRankAtLeastDecayedProfile(t *testing.T) {
+	m := Model{NTiles: 20, TileB: 64, MaxRank: 16, DecayTiles: 2, CutoffTiles: 5}
+	for d := 1; d < 20; d++ {
+		fr := FillRank(m, d, 0)
+		if fr < 1 {
+			t.Fatalf("fill rank must be at least 1")
+		}
+		if d <= m.CutoffTiles && fr < m.Rank(d, 0)/2 {
+			t.Fatalf("fill rank should not collapse below the initial profile")
+		}
+	}
+}
+
+func TestPaperGeometryScales(t *testing.T) {
+	g := PaperGeometry(1490000, 4880, 3.7e-4, 1e-4)
+	m := FromShape(g)
+	if m.NTiles != (1490000+4879)/4880 {
+		t.Fatalf("NT wrong: %d", m.NTiles)
+	}
+	// The paper's Fig 1 (b, shape 3.7e-4-like regime): a sparse matrix.
+	if d := m.Density(); d > 0.5 {
+		t.Fatalf("paper default shape should be sparse, density=%g", d)
+	}
+	if m.MaxRank <= 0 || m.MaxRank > 4880/2 {
+		t.Fatalf("max rank out of range: %d", m.MaxRank)
+	}
+}
+
+func TestModelFieldInterface(t *testing.T) {
+	m := Model{NTiles: 10, TileB: 64, MaxRank: 8, DecayTiles: 1, CutoffTiles: 2, Scatter: 1}
+	var f Field = m
+	if f.B() != 64 || f.NT() != 10 {
+		t.Fatalf("Field accessors wrong")
+	}
+}
+
+func TestNonZeroProbProfile(t *testing.T) {
+	m := Model{NTiles: 100, TileB: 64, MaxRank: 8, DecayTiles: 1, CutoffTiles: 3, Scatter: 2}
+	if m.NonZeroProb(0) != 1 || m.NonZeroProb(3) != 1 {
+		t.Fatalf("band must be certain")
+	}
+	p4, p50 := m.NonZeroProb(4), m.NonZeroProb(50)
+	if p4 <= 0 || p4 >= 1 {
+		t.Fatalf("off-band probability out of range: %g", p4)
+	}
+	if p50 >= p4 {
+		t.Fatalf("scatter probability must decay with distance")
+	}
+	// The scatter budget integrates to ≈ Scatter per row.
+	var sum float64
+	for d := 4; d < 100; d++ {
+		sum += m.NonZeroProb(d)
+	}
+	if sum < 0.5 || sum > 2.5 {
+		t.Fatalf("per-row scatter budget off: %g (want ≈ 2)", sum)
+	}
+	// Zero scatter: nothing beyond the band.
+	m.Scatter = 0
+	if m.NonZeroProb(10) != 0 {
+		t.Fatalf("no scatter expected")
+	}
+}
+
+func TestRankAtProfile(t *testing.T) {
+	m := Model{NTiles: 50, TileB: 64, MaxRank: 16, DecayTiles: 2, CutoffTiles: 4, Scatter: 1}
+	if m.RankAt(0) != 64 {
+		t.Fatalf("diagonal rank must be the tile size")
+	}
+	if m.RankAt(1) != 16 {
+		t.Fatalf("adjacent rank must be MaxRank")
+	}
+	if r := m.RankAt(3); r <= 0 || r > 16 {
+		t.Fatalf("band rank out of range: %d", r)
+	}
+	if r := m.RankAt(20); r != 2 { // 0.15·16 rounded
+		t.Fatalf("scatter rank %d, want 2", r)
+	}
+	// Scatter-selected tiles carry exactly the scatter rank.
+	found := false
+	for i := 10; i < 50 && !found; i++ {
+		for j := 0; j < i-4; j++ {
+			if r := m.Rank(i, j); r > 0 {
+				if r != m.RankAt(i-j) {
+					t.Fatalf("scattered tile rank mismatch: %d vs %d", r, m.RankAt(i-j))
+				}
+				found = true
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package rbf
+
+import (
+	"math"
+	"testing"
+
+	"tlrchol/internal/dense"
+)
+
+// denseSolver factors the kernel matrix densely and returns a
+// KernelSolver (the tests' stand-in for the TLR factorization).
+func denseSolver(t *testing.T, p *Problem) KernelSolver {
+	t.Helper()
+	k := p.Dense()
+	if err := dense.Potrf(k); err != nil {
+		t.Fatal(err)
+	}
+	return func(b *dense.Matrix) { dense.CholSolve(k, b) }
+}
+
+func TestPolyMatrix(t *testing.T) {
+	pts := []Point{{1, 2, 3}, {4, 5, 6}}
+	p := PolyMatrix(pts)
+	if p.Rows != 2 || p.Cols != 4 {
+		t.Fatalf("shape")
+	}
+	if p.At(0, 0) != 1 || p.At(1, 2) != 5 || p.At(0, 3) != 3 {
+		t.Fatalf("basis values wrong")
+	}
+}
+
+func TestAugmentedReproducesPolynomials(t *testing.T) {
+	// The defining property of the augmented interpolant: data that IS a
+	// linear polynomial is reproduced exactly everywhere (not only at
+	// the nodes), because β captures it and α vanishes.
+	pts := VirusPopulation(DefaultVirusConfig(300))[:300]
+	prob, _ := NewProblem(pts, Gaussian{Delta: 2 * DefaultShape(pts)})
+	n := prob.N()
+	db := dense.NewMatrix(n, 1)
+	f := func(p Point) float64 { return 2 - 0.5*p.X + 3*p.Y - 1.25*p.Z }
+	for i, p := range prob.Points {
+		db.Set(i, 0, f(p))
+	}
+	ip, err := SolveAugmented(prob, denseSolver(t, prob), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alpha ≈ 0 (the polynomial part explains everything).
+	if ip.Alpha.MaxAbs() > 1e-6 {
+		t.Fatalf("alpha should vanish for polynomial data: %g", ip.Alpha.MaxAbs())
+	}
+	// Exact reproduction at arbitrary points, far outside the kernels'
+	// reach — a plain (non-augmented) interpolant cannot do this.
+	for _, x := range []Point{{0.1, 0.2, 0.3}, {1.5, 1.5, 1.5}, {0.8, 0.1, 1.2}} {
+		got := ip.Eval(x)[0]
+		if math.Abs(got-f(x)) > 1e-6 {
+			t.Fatalf("polynomial not reproduced at %+v: %g vs %g", x, got, f(x))
+		}
+	}
+}
+
+func TestAugmentedInterpolationConditions(t *testing.T) {
+	pts := VirusPopulation(DefaultVirusConfig(250))[:250]
+	prob, _ := NewProblem(pts, Gaussian{Delta: 2 * DefaultShape(pts)})
+	n := prob.N()
+	db := dense.NewMatrix(n, 2)
+	for i, p := range prob.Points {
+		db.Set(i, 0, math.Sin(5*p.X)+0.3*p.Y)
+		db.Set(i, 1, p.Z*p.Z)
+	}
+	ip, err := SolveAugmented(prob, denseSolver(t, prob), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d(x_bi) = d_bi at the boundary.
+	for i := 0; i < n; i += 41 {
+		got := ip.Eval(prob.Points[i])
+		if math.Abs(got[0]-db.At(i, 0)) > 1e-7 || math.Abs(got[1]-db.At(i, 1)) > 1e-7 {
+			t.Fatalf("interpolation conditions violated at %d", i)
+		}
+	}
+	// Orthogonality constraint Σ α_i p(x_bi) = 0 (Section IV-C).
+	pm := PolyMatrix(prob.Points)
+	cons := dense.NewMatrix(4, 2)
+	dense.Gemm(dense.Trans, dense.NoTrans, 1, pm, ip.Alpha, 0, cons)
+	if cons.MaxAbs() > 1e-7 {
+		t.Fatalf("orthogonality constraint violated: %g", cons.MaxAbs())
+	}
+}
+
+func TestAugmentedDimensionMismatch(t *testing.T) {
+	pts := VirusPopulation(DefaultVirusConfig(100))[:100]
+	prob, _ := NewProblem(pts, Gaussian{Delta: 0.01})
+	_, err := SolveAugmented(prob, func(b *dense.Matrix) {}, dense.NewMatrix(7, 1))
+	if err == nil {
+		t.Fatalf("expected dimension error")
+	}
+}
+
+func TestAugmentedDegenerateGeometry(t *testing.T) {
+	// Coplanar points make P rank deficient: the Schur complement is
+	// singular and the solver must report it rather than return garbage.
+	var pts []Point
+	for i := 0; i < 40; i++ {
+		pts = append(pts, Point{X: float64(i) * 0.01, Y: float64(i%7) * 0.013, Z: 0})
+	}
+	prob, _ := NewProblem(pts, Gaussian{Delta: 0.02})
+	db := dense.NewMatrix(40, 1)
+	_, err := SolveAugmented(prob, denseSolver(t, prob), db)
+	if err == nil {
+		t.Fatalf("expected degenerate-geometry error for coplanar points")
+	}
+}

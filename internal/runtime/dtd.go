@@ -1,0 +1,94 @@
+package runtime
+
+// Dynamic Task Discovery (DTD) interface: the alternative DSL the
+// paper discusses in Section IV-A. Instead of describing the DAG
+// analytically (the PTG style used by the Cholesky driver), the user
+// inserts tasks sequentially and annotates each datum the task touches
+// with an access mode; the runtime infers the dependencies — exactly
+// the StarPU/OmpSs/PaRSEC-DTD programming model, including its
+// signature limitation: discovery is sequential, so graph construction
+// itself does not parallelize (the scalability concern the paper cites
+// from Hoque et al.).
+
+// AccessMode declares how an inserted task uses a datum.
+type AccessMode int
+
+const (
+	// Read declares a read-only access: reads after the same write may
+	// proceed concurrently.
+	Read AccessMode = iota
+	// Write declares a (read-)write access: it serializes against every
+	// earlier access to the same datum.
+	Write
+)
+
+// Access pairs a datum key with its access mode. The key identifies a
+// logical datum (e.g. a tile); any comparable value works.
+type Access struct {
+	Data interface{}
+	Mode AccessMode
+}
+
+// R is shorthand for a read access.
+func R(data interface{}) Access { return Access{Data: data, Mode: Read} }
+
+// W is shorthand for a write access.
+func W(data interface{}) Access { return Access{Data: data, Mode: Write} }
+
+// Inserter builds a Graph by sequential task insertion with inferred
+// dependencies, the DTD front end over the same execution engine.
+type Inserter struct {
+	g *Graph
+	// lastWrite is the most recent writer of each datum; readsSince the
+	// readers that followed it (a subsequent writer must wait for all of
+	// them — the anti-dependency).
+	lastWrite  map[interface{}]*Task
+	readsSince map[interface{}][]*Task
+}
+
+// NewInserter returns a DTD front end over a fresh graph.
+func NewInserter() *Inserter {
+	return &Inserter{
+		g:          NewGraph(),
+		lastWrite:  map[interface{}]*Task{},
+		readsSince: map[interface{}][]*Task{},
+	}
+}
+
+// Insert adds a task that touches the given data. Dependencies are
+// inferred: a read waits for the datum's last writer; a write waits
+// for the last writer and every read inserted since (RAW, WAW and WAR
+// hazards respectively).
+func (in *Inserter) Insert(label string, priority int64, run func() error, accesses ...Access) *Task {
+	t := in.g.NewTask(label, priority, run)
+	dedup := map[*Task]bool{}
+	dep := func(p *Task) {
+		if p != nil && p != t && !dedup[p] {
+			dedup[p] = true
+			in.g.AddDep(p, t)
+		}
+	}
+	for _, a := range accesses {
+		switch a.Mode {
+		case Read:
+			dep(in.lastWrite[a.Data])
+			in.readsSince[a.Data] = append(in.readsSince[a.Data], t)
+		case Write:
+			dep(in.lastWrite[a.Data])
+			for _, r := range in.readsSince[a.Data] {
+				dep(r)
+			}
+			in.lastWrite[a.Data] = t
+			in.readsSince[a.Data] = nil
+		}
+	}
+	return t
+}
+
+// Graph exposes the underlying graph (for inspection before Run).
+func (in *Inserter) Graph() *Graph { return in.g }
+
+// Run executes the inserted tasks.
+func (in *Inserter) Run(workers int) (Stats, error) {
+	return in.g.Run(workers)
+}

@@ -1,0 +1,253 @@
+// Package runtime is a shared-memory task-based dataflow runtime in the
+// spirit of PaRSEC: computations are expressed as a DAG of fine-grained
+// tasks with explicit data dependencies, and a pool of workers executes
+// tasks as their dependencies resolve, highest priority first. It is
+// the execution engine behind the real (numerical) TLR Cholesky
+// factorization; the companion package sim plays the same role for
+// simulated distributed-memory executions.
+//
+// The design mirrors the runtime concepts the paper relies on:
+// dependency counting (a task becomes ready when its last input
+// arrives), priority-driven scheduling (critical-path tasks first), and
+// post-execution release of successors. Task graphs are built ahead of
+// execution from a trim.Structure, which is how the DAG trimming of
+// Section VI reaches the runtime: trimmed task instances are simply
+// never created.
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one node of the DAG. Create tasks through Graph.NewTask and
+// connect them with Graph.AddDep before calling Graph.Run.
+type Task struct {
+	// Label identifies the task in traces and error messages.
+	Label string
+	// Priority orders ready tasks: higher runs first.
+	Priority int64
+	// Run executes the task body. A non-nil error aborts the execution
+	// (in-flight tasks finish; pending ones are dropped).
+	Run func() error
+
+	id        int
+	waits     int32 // remaining unfinished predecessors
+	succs     []*Task
+	ran       bool
+	worker    int
+	startedAt time.Duration
+	duration  time.Duration
+	cpLen     int64 // critical-path length in tasks, for reporting
+}
+
+// Graph is a task DAG under construction and its execution engine.
+type Graph struct {
+	tasks []*Task
+	edges int
+}
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NewTask adds a task to the graph.
+func (g *Graph) NewTask(label string, priority int64, run func() error) *Task {
+	t := &Task{Label: label, Priority: priority, Run: run, id: len(g.tasks)}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// AddDep declares that succ cannot start before pred finishes.
+func (g *Graph) AddDep(pred, succ *Task) {
+	pred.succs = append(pred.succs, succ)
+	succ.waits++
+	g.edges++
+}
+
+// Tasks returns the number of tasks in the graph.
+func (g *Graph) Tasks() int { return len(g.tasks) }
+
+// Edges returns the number of dependencies in the graph.
+func (g *Graph) Edges() int { return g.edges }
+
+// Stats reports what happened during Run.
+type Stats struct {
+	// Elapsed is the wall-clock makespan of the execution.
+	Elapsed time.Duration
+	// BusyTime is the summed task execution time over all workers.
+	BusyTime time.Duration
+	// Executed is the number of tasks that ran.
+	Executed int
+	// CriticalPathTasks is the longest dependency chain (in tasks)
+	// over the executed DAG.
+	CriticalPathTasks int
+	// Workers is the worker count used.
+	Workers int
+}
+
+// runTask executes a task body, converting panics into errors so a
+// crashing kernel aborts the execution cleanly instead of killing the
+// worker pool (fault containment — the runtime survives bad tasks).
+func runTask(t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if t.Run == nil {
+		return nil
+	}
+	return t.Run()
+}
+
+// readyQueue is a max-heap of ready tasks by priority (FIFO among
+// equals via insertion sequence, keeping execution deterministic for
+// single-worker runs).
+type readyQueue struct {
+	items []*readyItem
+}
+
+type readyItem struct {
+	t   *Task
+	seq int64
+}
+
+func (q *readyQueue) Len() int { return len(q.items) }
+func (q *readyQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.t.Priority != b.t.Priority {
+		return a.t.Priority > b.t.Priority
+	}
+	return a.seq < b.seq
+}
+func (q *readyQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *readyQueue) Push(x interface{}) { q.items = append(q.items, x.(*readyItem)) }
+func (q *readyQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// Run executes the graph with the given number of workers (≤ 0 selects
+// GOMAXPROCS). It returns scheduling statistics and the first task
+// error encountered, if any. Run may be called once per graph.
+func (g *Graph) Run(workers int) (Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu      sync.Mutex
+		cond    = sync.Cond{L: &mu}
+		ready   readyQueue
+		seq     int64
+		pending = int64(len(g.tasks))
+		firstE  error
+		aborted bool
+		busyNs  int64
+	)
+	push := func(t *Task) {
+		heap.Push(&ready, &readyItem{t: t, seq: seq})
+		seq++
+	}
+	mu.Lock()
+	for _, t := range g.tasks {
+		if t.waits == 0 {
+			push(t)
+		}
+	}
+	mu.Unlock()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for ready.Len() == 0 && atomic.LoadInt64(&pending) > 0 && !aborted {
+					cond.Wait()
+				}
+				if ready.Len() == 0 || aborted {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				it := heap.Pop(&ready).(*readyItem)
+				mu.Unlock()
+
+				t := it.t
+				t.ran = true
+				t.worker = w
+				t.startedAt = time.Since(start)
+				t0 := time.Now()
+				err := runTask(t)
+				t.duration = time.Since(t0)
+				atomic.AddInt64(&busyNs, int64(t.duration))
+
+				mu.Lock()
+				if err != nil && firstE == nil {
+					firstE = fmt.Errorf("task %s: %w", t.Label, err)
+					aborted = true
+				}
+				for _, s := range t.succs {
+					if cp := t.cpLen + 1; cp > s.cpLen {
+						s.cpLen = cp
+					}
+					if atomic.AddInt32(&s.waits, -1) == 0 && !aborted {
+						push(s)
+					}
+				}
+				atomic.AddInt64(&pending, -1)
+				mu.Unlock()
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+	st := Stats{
+		Elapsed:  time.Since(start),
+		BusyTime: time.Duration(busyNs),
+		Workers:  workers,
+	}
+	for _, t := range g.tasks {
+		if !t.ran {
+			continue
+		}
+		st.Executed++
+		if t.cpLen+1 > int64(st.CriticalPathTasks) {
+			st.CriticalPathTasks = int(t.cpLen + 1)
+		}
+	}
+	return st, firstE
+}
+
+// TaskRecord is one executed task in a trace.
+type TaskRecord struct {
+	Label    string
+	Worker   int
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Trace returns the execution records of all tasks that ran, in task
+// creation order. Only meaningful after Run.
+func (g *Graph) Trace() []TaskRecord {
+	out := make([]TaskRecord, 0, len(g.tasks))
+	for _, t := range g.tasks {
+		if !t.ran {
+			continue
+		}
+		out = append(out, TaskRecord{
+			Label: t.Label, Worker: t.worker,
+			Start: t.startedAt, Duration: t.duration,
+		})
+	}
+	return out
+}

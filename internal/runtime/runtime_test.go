@@ -1,0 +1,261 @@
+package runtime
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLinearChainOrder(t *testing.T) {
+	g := NewGraph()
+	var mu sync.Mutex
+	var order []int
+	var prev *Task
+	for i := 0; i < 20; i++ {
+		i := i
+		task := g.NewTask("t", 0, func() error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		})
+		if prev != nil {
+			g.AddDep(prev, task)
+		}
+		prev = task
+	}
+	st, err := g.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 20 {
+		t.Fatalf("executed %d", st.Executed)
+	}
+	if st.CriticalPathTasks != 20 {
+		t.Fatalf("critical path %d, want 20", st.CriticalPathTasks)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain executed out of order: %v", order)
+		}
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	// a -> {b, c} -> d: d must run after both b and c.
+	g := NewGraph()
+	var seq []string
+	var mu sync.Mutex
+	mk := func(name string) *Task {
+		return g.NewTask(name, 0, func() error {
+			mu.Lock()
+			seq = append(seq, name)
+			mu.Unlock()
+			return nil
+		})
+	}
+	a, b, c, d := mk("a"), mk("b"), mk("c"), mk("d")
+	g.AddDep(a, b)
+	g.AddDep(a, c)
+	g.AddDep(b, d)
+	g.AddDep(c, d)
+	if g.Tasks() != 4 || g.Edges() != 4 {
+		t.Fatalf("graph accounting wrong")
+	}
+	if _, err := g.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, s := range seq {
+		pos[s] = i
+	}
+	if pos["a"] != 0 || pos["d"] != 3 {
+		t.Fatalf("diamond order wrong: %v", seq)
+	}
+}
+
+func TestRandomDAGRespectsDependencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		g := NewGraph()
+		n := 200
+		done := make([]atomic.Bool, n)
+		tasks := make([]*Task, n)
+		type edge struct{ from, to int }
+		var edges []edge
+		for i := 0; i < n; i++ {
+			i := i
+			var preds []int
+			// Random edges from earlier tasks keep the graph acyclic.
+			for j := 0; j < 3; j++ {
+				if i > 0 && rng.Float64() < 0.7 {
+					preds = append(preds, rng.Intn(i))
+				}
+			}
+			tasks[i] = g.NewTask("t", int64(rng.Intn(10)), func() error {
+				for _, p := range preds {
+					if !done[p].Load() {
+						return errors.New("dependency violated")
+					}
+				}
+				done[i].Store(true)
+				return nil
+			})
+			for _, p := range preds {
+				edges = append(edges, edge{p, i})
+			}
+		}
+		for _, e := range edges {
+			g.AddDep(tasks[e.from], tasks[e.to])
+		}
+		st, err := g.Run(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Executed != n {
+			t.Fatalf("executed %d of %d", st.Executed, n)
+		}
+	}
+}
+
+func TestPriorityOrderSingleWorker(t *testing.T) {
+	g := NewGraph()
+	var order []int
+	for _, p := range []int64{1, 5, 3, 9, 2} {
+		p := p
+		g.NewTask("t", p, func() error {
+			order = append(order, int(p))
+			return nil
+		})
+	}
+	if _, err := g.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{9, 5, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order wrong: %v", order)
+		}
+	}
+}
+
+func TestErrorAbortsPendingTasks(t *testing.T) {
+	g := NewGraph()
+	boom := errors.New("boom")
+	first := g.NewTask("first", 0, func() error { return boom })
+	ran := false
+	second := g.NewTask("second", 0, func() error { ran = true; return nil })
+	g.AddDep(first, second)
+	st, err := g.Run(2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+	if ran {
+		t.Fatalf("successor of failed task must not run")
+	}
+	if st.Executed != 1 {
+		t.Fatalf("executed %d", st.Executed)
+	}
+}
+
+func TestErrorMessageIncludesLabel(t *testing.T) {
+	g := NewGraph()
+	g.NewTask("potrf(3)", 0, func() error { return errors.New("not spd") })
+	_, err := g.Run(1)
+	if err == nil || err.Error() != "task potrf(3): not spd" {
+		t.Fatalf("error label missing: %v", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	st, err := g.Run(4)
+	if err != nil || st.Executed != 0 {
+		t.Fatalf("empty graph should run trivially: %v %+v", err, st)
+	}
+}
+
+func TestWideGraphManyWorkers(t *testing.T) {
+	g := NewGraph()
+	var count atomic.Int64
+	for i := 0; i < 1000; i++ {
+		g.NewTask("w", 0, func() error {
+			count.Add(1)
+			return nil
+		})
+	}
+	st, err := g.Run(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1000 || st.Executed != 1000 {
+		t.Fatalf("lost tasks: %d", count.Load())
+	}
+	if st.CriticalPathTasks != 1 {
+		t.Fatalf("independent tasks have critical path 1, got %d", st.CriticalPathTasks)
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		g.NewTask("sleep", 0, func() error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		})
+	}
+	st, err := g.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BusyTime < 8*time.Millisecond {
+		t.Fatalf("busy time %v too small", st.BusyTime)
+	}
+}
+
+func TestStressRandomDelays(t *testing.T) {
+	// Fault-injection style stress: random sleeps shake out ordering
+	// races between dependency release and worker wakeup.
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph()
+	n := 100
+	var finished atomic.Int64
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		d := time.Duration(rng.Intn(300)) * time.Microsecond
+		tasks[i] = g.NewTask("t", int64(rng.Intn(5)), func() error {
+			time.Sleep(d)
+			finished.Add(1)
+			return nil
+		})
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			g.AddDep(tasks[rng.Intn(i)], tasks[i])
+		}
+	}
+	if _, err := g.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if finished.Load() != int64(n) {
+		t.Fatalf("finished %d of %d", finished.Load(), n)
+	}
+}
+
+func TestPanicIsContained(t *testing.T) {
+	g := NewGraph()
+	g.NewTask("kernel", 0, func() error { panic("segfault-like crash") })
+	after := g.NewTask("after", 0, func() error { return nil })
+	g.AddDep(g.tasks[0], after)
+	_, err := g.Run(2)
+	if err == nil || !strings.Contains(err.Error(), "panic: segfault-like crash") {
+		t.Fatalf("panic must surface as an error, got %v", err)
+	}
+	if after.ran {
+		t.Fatalf("successor of a panicked task must not run")
+	}
+}

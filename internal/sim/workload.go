@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"tlrchol/internal/ranks"
+	"tlrchol/internal/trim"
+)
+
+// Workload is the simulator's view of a TLR Cholesky problem: the tile
+// grid, the execution-space structure (trimmed or full), and the
+// per-tile working ranks that determine task flops and message sizes.
+type Workload struct {
+	NT, B int
+	// S is the execution space handed to the runtime: the Algorithm 1
+	// analysis when trimming is on, the implicit full DAG otherwise.
+	S trim.Structure
+	// Trimmed records which of the two it is.
+	Trimmed bool
+	// workRank(m,n) is the rank charged for tile (m,n) during the
+	// factorization: the initial rank for compressed tiles, the modeled
+	// fill rank for tiles that fill in, 0 for tiles that stay null.
+	workRank func(m, n int) int
+	// initRank is the post-compression rank (message size of the first
+	// ship-in, memory accounting).
+	initRank func(m, n int) int
+}
+
+// fieldAdapter bridges ranks.Field to trim.RankArray.
+type fieldAdapter struct{ f ranks.Field }
+
+func (a fieldAdapter) NT() int           { return a.f.NT() }
+func (a fieldAdapter) Rank(m, n int) int { return a.f.Rank(m, n) }
+
+// NewWorkload builds a Workload from a rank field. When trimmed is
+// true the structure comes from Algorithm 1 (fill-in predicted); when
+// false the full dense DAG is used, as Lorapo does. model supplies the
+// fill-in rank profile; pass nil to reuse the field's nearest non-zero
+// rank in the same column (adequate for real compressed matrices).
+func NewWorkload(f ranks.Field, model *ranks.Model, trimmed bool) Workload {
+	nt, b := f.NT(), f.B()
+	// The fill structure is needed in both modes to know which tiles
+	// carry real work; an untrimmed runtime still only does real flops
+	// on non-zero tiles.
+	analysis := trim.Analyze(fieldAdapter{f}, trim.AllLocal)
+	var s trim.Structure = analysis
+	if !trimmed {
+		s = trim.Full{Nt: nt}
+	}
+	fill := func(m, n int) int {
+		if model != nil {
+			return ranks.FillRank(*model, m, n)
+		}
+		// Nearest non-zero rank below in the same column, else a small
+		// default: fill-in inherits its neighbourhood's rank scale.
+		for d := 1; d < 4 && m-d > n; d++ {
+			if r := f.Rank(m-d, n); r > 0 {
+				return r
+			}
+		}
+		return 2
+	}
+	work := func(m, n int) int {
+		if m == n {
+			return b
+		}
+		if r := f.Rank(m, n); r > 0 {
+			return r
+		}
+		if analysis.NonZero(m, n) {
+			return fill(m, n)
+		}
+		return 0
+	}
+	return Workload{
+		NT: nt, B: b, S: s, Trimmed: trimmed,
+		workRank: work,
+		initRank: func(m, n int) int {
+			if m == n {
+				return b
+			}
+			return f.Rank(m, n)
+		},
+	}
+}
+
+// WorkRank exposes the working rank of tile (m,n).
+func (w Workload) WorkRank(m, n int) int { return w.workRank(m, n) }
+
+// TileBytes returns the payload bytes of tile (m,n) at its working
+// rank: dense diagonal b², compressed 2·b·r, null tiles a small header.
+func (w Workload) TileBytes(m, n int) float64 {
+	if m == n {
+		return 8 * float64(w.B) * float64(w.B)
+	}
+	r := w.workRank(m, n)
+	if r == 0 {
+		return 128 // metadata-only message for null tiles
+	}
+	return 16 * float64(w.B) * float64(r)
+}

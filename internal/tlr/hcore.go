@@ -1,0 +1,159 @@
+package tlr
+
+import (
+	"fmt"
+
+	"tlrchol/internal/dense"
+)
+
+// Trsm applies the TLR triangular solve of the tile Cholesky panel:
+// A ← A·L⁻ᵀ where L is the dense lower-triangular Cholesky factor of
+// the diagonal tile (b×b) and A is an off-diagonal tile.
+//
+// For a LowRank tile A = U·Vᵀ this touches only V:
+// U·Vᵀ·L⁻ᵀ = U·(L⁻¹V)ᵀ, so V ← L⁻¹·V at cost O(b²k) instead of O(b³)
+// (Section IV-B). Zero tiles are untouched; a Dense tile falls back to
+// the dense kernel.
+func Trsm(l *dense.Matrix, a *Tile) {
+	switch a.Kind {
+	case Zero:
+	case LowRank:
+		dense.Trsm(dense.Left, dense.Lower, dense.NoTrans, dense.NonUnit, 1, l, a.V)
+	case Dense:
+		dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, l, a.D)
+	}
+}
+
+// Syrk applies the TLR symmetric rank-k update of the tile Cholesky
+// trailing submatrix on the diagonal: C ← C − A·Aᵀ with C the dense
+// diagonal tile (lower triangle referenced) and A the panel tile.
+//
+// For LowRank A = U·Vᵀ: C −= U·(VᵀV)·Uᵀ, computed as W = VᵀV (k×k),
+// T = U·W (b×k), then the symmetric update C −= T·Uᵀ restricted to the
+// lower triangle, at O(bk² + b²k) flops.
+func Syrk(a *Tile, c *dense.Matrix) {
+	switch a.Kind {
+	case Zero:
+		return
+	case Dense:
+		dense.Syrk(dense.NoTrans, -1, a.D, 1, c)
+		return
+	}
+	k := a.Rank()
+	w := dense.NewMatrix(k, k)
+	dense.Gemm(dense.Trans, dense.NoTrans, 1, a.V, a.V, 0, w)
+	t := dense.NewMatrix(a.Rows, k)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a.U, w, 0, t)
+	// Lower triangle of C −= T·Uᵀ. T·Uᵀ = U·W·Uᵀ is symmetric because W is.
+	for i := 0; i < c.Rows; i++ {
+		ti := t.Row(i)
+		ci := c.Data[i*c.Stride:]
+		for j := 0; j <= i; j++ {
+			uj := a.U.Row(j)
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += ti[kk] * uj[kk]
+			}
+			ci[j] -= s
+		}
+	}
+}
+
+// GemmConfig controls the low-rank accumulation in Gemm.
+type GemmConfig struct {
+	// Tol is the absolute Frobenius truncation threshold used when
+	// recompressing the accumulated tile.
+	Tol float64
+	// MaxRank caps the stored rank after recompression (≤ 0: unlimited).
+	MaxRank int
+}
+
+// Gemm applies the TLR Schur-complement update of the tile Cholesky:
+// C ← C − A·Bᵀ where A = tile(m,k), B = tile(n,k) are panel tiles and
+// C = tile(m,n) is an off-diagonal trailing tile. A and B are Zero or
+// LowRank (off-diagonal tiles are always stored compressed); C may be
+// Zero (fill-in is created, returning a new LowRank tile), LowRank
+// (low-rank accumulation with QR+SVD recompression) or Dense (dense
+// accumulation, used by tests and by edge configurations).
+//
+// It returns the resulting tile, which may be a different object than c
+// when the representation changes (Zero → LowRank fill-in, or rank
+// growth). The caller must store the result back.
+func Gemm(a, b, c *Tile, cfg GemmConfig) *Tile {
+	if a.Kind == Dense || b.Kind == Dense {
+		return gemmDenseOperands(a, b, c, cfg)
+	}
+	if a.Kind == Zero || b.Kind == Zero {
+		return c
+	}
+	// Contribution −A·Bᵀ = −U_a·(V_aᵀ·V_b)·U_bᵀ, a rank ≤ min(k_a,k_b)
+	// low-rank term with factors P = −U_a·W (rows×k_b) and Q = U_b.
+	ka, kb := a.Rank(), b.Rank()
+	w := dense.NewMatrix(ka, kb)
+	dense.Gemm(dense.Trans, dense.NoTrans, 1, a.V, b.V, 0, w)
+	p := dense.NewMatrix(a.Rows, kb)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, -1, a.U, w, 0, p)
+	q := b.U
+	switch c.Kind {
+	case Zero:
+		// Fill-in: the tile was annihilated by compression but the Schur
+		// update resurrects it (Section VI marks these in Algorithm 1).
+		return Recompress(p, q.Clone(), cfg.Tol, cfg.MaxRank)
+	case LowRank:
+		// C + P·Qᵀ via factor concatenation then recompression.
+		u := hcat(c.U, p)
+		v := hcat(c.V, q)
+		return Recompress(u, v, cfg.Tol, cfg.MaxRank)
+	default: // Dense accumulation.
+		dense.Gemm(dense.NoTrans, dense.Trans, 1, p, q, 1, c.D)
+		return c
+	}
+}
+
+// gemmDenseOperands handles the rarely-exercised mixed paths where a
+// panel operand is stored dense. The product is formed densely and then
+// folded into C in its own format.
+func gemmDenseOperands(a, b, c *Tile, cfg GemmConfig) *Tile {
+	if a.Kind == Zero || b.Kind == Zero {
+		return c
+	}
+	ad := a.ToDense()
+	bd := b.ToDense()
+	prod := dense.NewMatrix(a.Rows, b.Rows)
+	dense.Gemm(dense.NoTrans, dense.Trans, -1, ad, bd, 0, prod)
+	switch c.Kind {
+	case Dense:
+		c.D.Add(1, prod)
+		return c
+	case Zero:
+		return Compress(prod, cfg.Tol, cfg.MaxRank)
+	default:
+		cd := c.ToDense()
+		cd.Add(1, prod)
+		return Compress(cd, cfg.Tol, cfg.MaxRank)
+	}
+}
+
+// AddInto computes c + s·(a·bᵀ-style tile value) densely; a helper for
+// verification code that wants exact arithmetic regardless of format.
+func AddInto(dst *dense.Matrix, s float64, t *Tile) {
+	switch t.Kind {
+	case Zero:
+	case Dense:
+		dst.Add(s, t.D)
+	case LowRank:
+		dense.Gemm(dense.NoTrans, dense.Trans, s, t.U, t.V, 1, dst)
+	}
+}
+
+func hcat(a, b *dense.Matrix) *dense.Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tlr: hcat rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := dense.NewMatrix(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package tlr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tlrchol/internal/dense"
+)
+
+// choleskyL returns the dense lower Cholesky factor of a random SPD tile.
+func choleskyL(rng *rand.Rand, b int) *dense.Matrix {
+	a := dense.RandomSPD(rng, b)
+	if err := dense.Potrf(a); err != nil {
+		panic(err)
+	}
+	a.TriLower()
+	return a
+}
+
+func lrTile(rng *rand.Rand, rows, cols, k int) *Tile {
+	return Compress(dense.RandomLowRank(rng, rows, cols, k), 1e-12, 0)
+}
+
+func TestTrsmLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	b := 16
+	l := choleskyL(rng, b)
+	a := lrTile(rng, b, b, 3)
+	want := a.ToDense()
+	dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, l, want)
+	Trsm(l, a)
+	if a.Kind != LowRank || a.Rank() != 3 {
+		t.Fatalf("TRSM must preserve the LR format and rank")
+	}
+	if dense.FrobDiff(a.ToDense(), want) > 1e-9*(1+want.FrobNorm()) {
+		t.Fatalf("TRSM-LR mismatch: %g", dense.FrobDiff(a.ToDense(), want))
+	}
+}
+
+func TestTrsmDenseAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := 12
+	l := choleskyL(rng, b)
+	ad := NewDense(dense.Random(rng, b, b))
+	want := ad.D.Clone()
+	dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, l, want)
+	Trsm(l, ad)
+	if dense.FrobDiff(ad.D, want) > 1e-10*(1+want.FrobNorm()) {
+		t.Fatalf("TRSM-dense mismatch")
+	}
+	z := NewZero(b, b)
+	Trsm(l, z) // must not panic
+	if z.Kind != Zero {
+		t.Fatalf("TRSM must leave Zero tiles untouched")
+	}
+}
+
+func TestSyrkLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	b := 16
+	a := lrTile(rng, b, b, 4)
+	c := dense.RandomSPD(rng, b)
+	want := c.Clone()
+	ad := a.ToDense()
+	dense.Syrk(dense.NoTrans, -1, ad, 1, want)
+	got := c.Clone()
+	Syrk(a, got)
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			d := got.At(i, j) - want.At(i, j)
+			if d > 1e-9 || d < -1e-9 {
+				t.Fatalf("SYRK-LR mismatch at (%d,%d): %g vs %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	// Upper triangle untouched.
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			if got.At(i, j) != c.At(i, j) {
+				t.Fatalf("SYRK must not touch upper triangle")
+			}
+		}
+	}
+}
+
+func TestSyrkZeroNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	c := dense.RandomSPD(rng, 8)
+	want := c.Clone()
+	Syrk(NewZero(8, 8), c)
+	if dense.FrobDiff(c, want) != 0 {
+		t.Fatalf("SYRK with Zero panel must be a no-op")
+	}
+}
+
+func TestSyrkDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	b := 10
+	a := NewDense(dense.Random(rng, b, b))
+	c := dense.RandomSPD(rng, b)
+	want := c.Clone()
+	dense.Syrk(dense.NoTrans, -1, a.D, 1, want)
+	Syrk(a, c)
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			d := c.At(i, j) - want.At(i, j)
+			if d > 1e-12 || d < -1e-12 {
+				t.Fatalf("SYRK-dense mismatch")
+			}
+		}
+	}
+}
+
+func gemmWant(a, b, c *Tile) *dense.Matrix {
+	want := c.ToDense()
+	ad, bd := a.ToDense(), b.ToDense()
+	dense.Gemm(dense.NoTrans, dense.Trans, -1, ad, bd, 1, want)
+	return want
+}
+
+func TestGemmLRLRIntoLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	b := 16
+	a := lrTile(rng, b, b, 3)
+	bt := lrTile(rng, b, b, 2)
+	c := lrTile(rng, b, b, 4)
+	want := gemmWant(a, bt, c)
+	got := Gemm(a, bt, c, GemmConfig{Tol: 1e-10})
+	if got.Kind != LowRank {
+		t.Fatalf("expected LowRank result, got %v", got.Kind)
+	}
+	if got.Rank() > 3+2+4 {
+		t.Fatalf("rank exploded: %d", got.Rank())
+	}
+	if dense.FrobDiff(got.ToDense(), want) > 1e-7*(1+want.FrobNorm()) {
+		t.Fatalf("GEMM LR×LR→LR mismatch: %g", dense.FrobDiff(got.ToDense(), want))
+	}
+}
+
+func TestGemmFillIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	b := 16
+	a := lrTile(rng, b, b, 3)
+	bt := lrTile(rng, b, b, 2)
+	c := NewZero(b, b)
+	want := gemmWant(a, bt, c)
+	got := Gemm(a, bt, c, GemmConfig{Tol: 1e-10})
+	if got.Kind != LowRank {
+		t.Fatalf("fill-in should create a LowRank tile, got %v", got.Kind)
+	}
+	if got.Rank() > 2 {
+		t.Fatalf("fill-in rank should be ≤ min(ka,kb)=2, got %d", got.Rank())
+	}
+	if dense.FrobDiff(got.ToDense(), want) > 1e-7*(1+want.FrobNorm()) {
+		t.Fatalf("fill-in value wrong: %g", dense.FrobDiff(got.ToDense(), want))
+	}
+}
+
+func TestGemmZeroOperandsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	b := 8
+	c := lrTile(rng, b, b, 2)
+	cval := c.ToDense()
+	got := Gemm(NewZero(b, b), lrTile(rng, b, b, 2), c, GemmConfig{Tol: 1e-10})
+	if got != c || dense.FrobDiff(got.ToDense(), cval) != 0 {
+		t.Fatalf("GEMM with Zero A must be a no-op returning c")
+	}
+	got = Gemm(lrTile(rng, b, b, 2), NewZero(b, b), c, GemmConfig{Tol: 1e-10})
+	if got != c {
+		t.Fatalf("GEMM with Zero B must be a no-op returning c")
+	}
+}
+
+func TestGemmIntoDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	b := 12
+	a := lrTile(rng, b, b, 3)
+	bt := lrTile(rng, b, b, 3)
+	c := NewDense(dense.Random(rng, b, b))
+	want := gemmWant(a, bt, c)
+	got := Gemm(a, bt, c, GemmConfig{Tol: 1e-10})
+	if got.Kind != Dense {
+		t.Fatalf("dense C must stay dense")
+	}
+	if dense.FrobDiff(got.D, want) > 1e-8*(1+want.FrobNorm()) {
+		t.Fatalf("GEMM into dense mismatch")
+	}
+}
+
+func TestGemmDenseOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	b := 10
+	a := NewDense(dense.Random(rng, b, b))
+	bt := lrTile(rng, b, b, 2)
+	for _, ck := range []Kind{Zero, LowRank, Dense} {
+		var c *Tile
+		switch ck {
+		case Zero:
+			c = NewZero(b, b)
+		case LowRank:
+			c = lrTile(rng, b, b, 2)
+		default:
+			c = NewDense(dense.Random(rng, b, b))
+		}
+		want := gemmWant(a, bt, c)
+		got := Gemm(a, bt, c, GemmConfig{Tol: 1e-10})
+		if dense.FrobDiff(got.ToDense(), want) > 1e-7*(1+want.FrobNorm()) {
+			t.Fatalf("GEMM dense-operand path failed for C=%v: %g", ck, dense.FrobDiff(got.ToDense(), want))
+		}
+	}
+}
+
+func TestGemmRecompressionControlsRankGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	b := 24
+	// Repeatedly accumulate rank-2 updates into one tile; with
+	// recompression the rank must stay bounded by the content, not the
+	// update count.
+	c := NewZero(b, b)
+	acc := dense.NewMatrix(b, b)
+	for iter := 0; iter < 8; iter++ {
+		a := lrTile(rng, b, b, 2)
+		bt := lrTile(rng, b, b, 2)
+		dense.Gemm(dense.NoTrans, dense.Trans, -1, a.ToDense(), bt.ToDense(), 1, acc)
+		c = Gemm(a, bt, c, GemmConfig{Tol: 1e-9})
+	}
+	if dense.FrobDiff(c.ToDense(), acc) > 1e-5*(1+acc.FrobNorm()) {
+		t.Fatalf("accumulated value drifted: %g", dense.FrobDiff(c.ToDense(), acc))
+	}
+	if c.Rank() > 16 {
+		t.Fatalf("rank should be bounded by total content, got %d", c.Rank())
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	b := 8
+	dst := dense.NewMatrix(b, b)
+	lr := lrTile(rng, b, b, 2)
+	AddInto(dst, 2, lr)
+	want := lr.ToDense()
+	want.Scale(2)
+	if dense.FrobDiff(dst, want) > 1e-12 {
+		t.Fatalf("AddInto LR wrong")
+	}
+	AddInto(dst, 1, NewZero(b, b)) // no-op
+	if dense.FrobDiff(dst, want) > 1e-12 {
+		t.Fatalf("AddInto Zero must be no-op")
+	}
+}
+
+func TestAddIntoDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := 6
+	dst := dense.NewMatrix(b, b)
+	dt := NewDense(dense.Random(rng, b, b))
+	AddInto(dst, -1.5, dt)
+	want := dt.D.Clone()
+	want.Scale(-1.5)
+	if dense.FrobDiff(dst, want) > 1e-13 {
+		t.Fatalf("AddInto dense path wrong")
+	}
+}
+
+// Property: for every combination of operand kinds (Zero, LowRank,
+// Dense) and random contents, HCORE GEMM matches the dense reference
+// within the accumulation tolerance.
+func TestGemmKindProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 8 + rng.Intn(12)
+		mk := func(kind int) *Tile {
+			switch kind % 3 {
+			case 0:
+				return NewZero(b, b)
+			case 1:
+				return lrTile(rng, b, b, 1+rng.Intn(3))
+			default:
+				return NewDense(dense.Random(rng, b, b))
+			}
+		}
+		a := mk(rng.Intn(3))
+		bt := mk(rng.Intn(3))
+		c := mk(rng.Intn(3))
+		want := gemmWant(a, bt, c)
+		got := Gemm(a, bt, c, GemmConfig{Tol: 1e-9})
+		return dense.FrobDiff(got.ToDense(), want) <= 1e-6*(1+want.FrobNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TRSM on a low-rank tile never changes U or the rank, and
+// inverts a TRMM by the same factor.
+func TestTrsmInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 8 + rng.Intn(12)
+		l := choleskyL(rng, b)
+		a := lrTile(rng, b, b, 1+rng.Intn(4))
+		orig := a.ToDense()
+		Trsm(l, a)
+		// Undo: A·L⁻ᵀ·Lᵀ = A.
+		back := a.ToDense()
+		dense.Trmm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, l, back)
+		return dense.FrobDiff(back, orig) <= 1e-7*(1+orig.FrobNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package tlr implements the Tile Low-Rank (TLR) building blocks of the
+// HiCMA library that the paper's framework is built on: a tile type that
+// is either Dense, LowRank (U·Vᵀ) or Zero, compression of dense tiles at
+// a fixed accuracy threshold, and the HCORE computational kernels
+// (TRSM, SYRK, GEMM) that operate directly on the compressed
+// representation, including low-rank accumulation with QR+SVD
+// recompression and fill-in creation.
+//
+// The mixture of the three tile kinds within one matrix operation is the
+// central data-structure challenge of the paper (Section V): RBF
+// operators are dense on the diagonal, low-rank near it, and exactly
+// zero far away once compressed at the application's accuracy threshold.
+package tlr
+
+import (
+	"fmt"
+	"math"
+
+	"tlrchol/internal/dense"
+)
+
+// Kind discriminates the storage format of a tile.
+type Kind int
+
+const (
+	// Zero is a tile whose contribution vanished during compression
+	// (rank 0). It stores nothing.
+	Zero Kind = iota
+	// LowRank stores the tile as U·Vᵀ with U (rows×k) and V (cols×k).
+	LowRank
+	// Dense stores the full tile.
+	Dense
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Zero:
+		return "zero"
+	case LowRank:
+		return "lowrank"
+	case Dense:
+		return "dense"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Tile is one block of a TLR matrix in one of the three formats.
+type Tile struct {
+	Kind       Kind
+	Rows, Cols int
+	// D is the dense storage (Kind == Dense).
+	D *dense.Matrix
+	// U, V are the low-rank factors, tile ≈ U·Vᵀ (Kind == LowRank).
+	U, V *dense.Matrix
+}
+
+// NewZero returns a rank-0 tile of the given shape.
+func NewZero(rows, cols int) *Tile {
+	return &Tile{Kind: Zero, Rows: rows, Cols: cols}
+}
+
+// NewDense wraps d as a dense tile (no copy).
+func NewDense(d *dense.Matrix) *Tile {
+	return &Tile{Kind: Dense, Rows: d.Rows, Cols: d.Cols, D: d}
+}
+
+// NewLowRank wraps the factors u (rows×k) and v (cols×k) as a low-rank
+// tile (no copy). A rank-0 factor pair degenerates to a Zero tile.
+func NewLowRank(u, v *dense.Matrix) *Tile {
+	if u.Cols != v.Cols {
+		panic(fmt.Sprintf("tlr: factor rank mismatch %d vs %d", u.Cols, v.Cols))
+	}
+	if u.Cols == 0 {
+		return NewZero(u.Rows, v.Rows)
+	}
+	return &Tile{Kind: LowRank, Rows: u.Rows, Cols: v.Rows, U: u, V: v}
+}
+
+// Rank returns the stored rank: 0 for Zero, k for LowRank and
+// min(rows,cols) for Dense.
+func (t *Tile) Rank() int {
+	switch t.Kind {
+	case Zero:
+		return 0
+	case LowRank:
+		return t.U.Cols
+	default:
+		if t.Rows < t.Cols {
+			return t.Rows
+		}
+		return t.Cols
+	}
+}
+
+// Bytes returns the number of bytes of float64 payload the tile holds,
+// the quantity the paper's memory-footprint accounting tracks.
+func (t *Tile) Bytes() int {
+	switch t.Kind {
+	case Zero:
+		return 0
+	case LowRank:
+		return 8 * (t.U.Rows*t.U.Cols + t.V.Rows*t.V.Cols)
+	default:
+		return 8 * t.Rows * t.Cols
+	}
+}
+
+// ToDense materializes the tile as a dense matrix (always a fresh copy).
+func (t *Tile) ToDense() *dense.Matrix {
+	out := dense.NewMatrix(t.Rows, t.Cols)
+	switch t.Kind {
+	case Zero:
+	case LowRank:
+		dense.Gemm(dense.NoTrans, dense.Trans, 1, t.U, t.V, 0, out)
+	default:
+		out.CopyFrom(t.D)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the tile.
+func (t *Tile) Clone() *Tile {
+	c := &Tile{Kind: t.Kind, Rows: t.Rows, Cols: t.Cols}
+	if t.D != nil {
+		c.D = t.D.Clone()
+	}
+	if t.U != nil {
+		c.U = t.U.Clone()
+	}
+	if t.V != nil {
+		c.V = t.V.Clone()
+	}
+	return c
+}
+
+// FrobNorm returns the Frobenius norm of the tile's value.
+func (t *Tile) FrobNorm() float64 {
+	switch t.Kind {
+	case Zero:
+		return 0
+	case Dense:
+		return t.D.FrobNorm()
+	default:
+		// ‖UVᵀ‖_F² = trace(VUᵀUVᵀ) = Σ_{ij} (UᵀU)_{ij}·(VᵀV)_{ij}.
+		k := t.U.Cols
+		utu := dense.NewMatrix(k, k)
+		vtv := dense.NewMatrix(k, k)
+		dense.Gemm(dense.Trans, dense.NoTrans, 1, t.U, t.U, 0, utu)
+		dense.Gemm(dense.Trans, dense.NoTrans, 1, t.V, t.V, 0, vtv)
+		var s float64
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				s += utu.At(i, j) * vtv.At(i, j)
+			}
+		}
+		if s < 0 {
+			s = 0
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Compress converts a dense block into a Zero or LowRank tile at the
+// given absolute Frobenius accuracy threshold, the HiCMA fixed-accuracy
+// compression. It never returns a Dense tile: off-diagonal tiles in the
+// paper's TLR layout are always stored compressed so the kernel set
+// stays closed under {Zero, LowRank} × Dense-diagonal. maxRank ≤ 0 means
+// unlimited.
+func Compress(a *dense.Matrix, tol float64, maxRank int) *Tile {
+	res := dense.QRCP(a, tol, maxRank)
+	if res.Rank == 0 {
+		return NewZero(a.Rows, a.Cols)
+	}
+	// U = Q (rows×k), V = (R·Pᵀ)ᵀ (cols×k).
+	v := dense.UnpermuteColumns(res.R, res.Perm).T()
+	return NewLowRank(res.Q, v)
+}
+
+// Recompress rounds a low-rank representation (u·vᵀ) back to minimal
+// rank at the accuracy threshold: QR both factors, SVD the small core
+// Ru·Rvᵀ, truncate. This is the HCORE low-rank addition workhorse.
+func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
+	k := u.Cols
+	if k == 0 {
+		return NewZero(u.Rows, v.Rows)
+	}
+	if k > u.Rows || k > v.Rows {
+		// The stacked representation is wider than the tile: the QR path
+		// does not apply, so materialize and compress directly.
+		prod := dense.NewMatrix(u.Rows, v.Rows)
+		dense.Gemm(dense.NoTrans, dense.Trans, 1, u, v, 0, prod)
+		return Compress(prod, tol, maxRank)
+	}
+	qu, ru := dense.QR(u)
+	qv, rv := dense.QR(v)
+	core := dense.NewMatrix(k, k)
+	dense.Gemm(dense.NoTrans, dense.Trans, 1, ru, rv, 0, core)
+	svd := dense.SVD(core)
+	newK := dense.TruncationRank(svd.S, tol)
+	if maxRank > 0 && newK > maxRank {
+		newK = maxRank
+	}
+	if newK == 0 {
+		return NewZero(u.Rows, v.Rows)
+	}
+	// U = Qu·Us·diag(S), V = Qv·Vs.
+	usS := dense.NewMatrix(k, newK)
+	for i := 0; i < k; i++ {
+		for j := 0; j < newK; j++ {
+			usS.Set(i, j, svd.U.At(i, j)*svd.S[j])
+		}
+	}
+	newU := dense.NewMatrix(u.Rows, newK)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, qu, usS, 0, newU)
+	vsMat := dense.NewMatrix(k, newK)
+	for i := 0; i < k; i++ {
+		for j := 0; j < newK; j++ {
+			vsMat.Set(i, j, svd.V.At(i, j))
+		}
+	}
+	newV := dense.NewMatrix(v.Rows, newK)
+	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, qv, vsMat, 0, newV)
+	return NewLowRank(newU, newV)
+}

@@ -1,0 +1,145 @@
+// Package trace analyzes and renders execution traces of the task
+// runtime: per-worker utilization, per-task-class time breakdowns and
+// an ASCII Gantt chart — the same kind of instrumentation-driven
+// analysis the authors use in their companion ProTools paper to study
+// TLR Cholesky executions.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tlrchol/internal/runtime"
+)
+
+// ClassStat aggregates the tasks of one class (label prefix before the
+// first '(' or '/').
+type ClassStat struct {
+	Class string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Summary is the analysis of one trace.
+type Summary struct {
+	Makespan time.Duration
+	Workers  int
+	// Utilization is per-worker busy fraction of the makespan.
+	Utilization []float64
+	Classes     []ClassStat
+}
+
+// Class extracts the task class from a label: "gemm(3,5,1)" → "gemm",
+// "potrf(2)/trsm(0,1)" → "potrf".
+func Class(label string) string {
+	if i := strings.IndexAny(label, "(/"); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+// Analyze summarizes a trace.
+func Analyze(recs []runtime.TaskRecord) Summary {
+	var s Summary
+	busy := map[int]time.Duration{}
+	classes := map[string]*ClassStat{}
+	for _, r := range recs {
+		if end := r.Start + r.Duration; end > s.Makespan {
+			s.Makespan = end
+		}
+		busy[r.Worker] += r.Duration
+		c := Class(r.Label)
+		cs := classes[c]
+		if cs == nil {
+			cs = &ClassStat{Class: c}
+			classes[c] = cs
+		}
+		cs.Count++
+		cs.Total += r.Duration
+		if r.Duration > cs.Max {
+			cs.Max = r.Duration
+		}
+	}
+	maxW := -1
+	for w := range busy {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	s.Workers = maxW + 1
+	s.Utilization = make([]float64, s.Workers)
+	for w, b := range busy {
+		if s.Makespan > 0 {
+			s.Utilization[w] = float64(b) / float64(s.Makespan)
+		}
+	}
+	for _, cs := range classes {
+		s.Classes = append(s.Classes, *cs)
+	}
+	sort.Slice(s.Classes, func(i, j int) bool { return s.Classes[i].Total > s.Classes[j].Total })
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %v, %d workers\n", s.Makespan.Round(time.Microsecond), s.Workers)
+	for w, u := range s.Utilization {
+		fmt.Fprintf(&sb, "  worker %d: %5.1f%% busy\n", w, 100*u)
+	}
+	for _, c := range s.Classes {
+		fmt.Fprintf(&sb, "  %-8s %6d tasks  total %v  max %v\n",
+			c.Class, c.Count, c.Total.Round(time.Microsecond), c.Max.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Gantt renders an ASCII timeline: one row per worker, width columns,
+// each cell showing the class initial of the task occupying that time
+// slot ('.' = idle). Useful for eyeballing pipeline stalls and
+// critical-path bubbles.
+func Gantt(recs []runtime.TaskRecord, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var makespan time.Duration
+	maxW := 0
+	for _, r := range recs {
+		if end := r.Start + r.Duration; end > makespan {
+			makespan = end
+		}
+		if r.Worker > maxW {
+			maxW = r.Worker
+		}
+	}
+	if makespan == 0 {
+		return ""
+	}
+	rows := make([][]byte, maxW+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, r := range recs {
+		c := Class(r.Label)
+		ch := byte('?')
+		if len(c) > 0 {
+			ch = c[0]
+		}
+		from := int(int64(r.Start) * int64(width) / int64(makespan))
+		to := int(int64(r.Start+r.Duration) * int64(width) / int64(makespan))
+		if to >= width {
+			to = width - 1
+		}
+		for x := from; x <= to; x++ {
+			rows[r.Worker][x] = ch
+		}
+	}
+	var sb strings.Builder
+	for w, row := range rows {
+		fmt.Fprintf(&sb, "w%-2d |%s|\n", w, row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tlrchol/internal/runtime"
+)
+
+func rec(label string, worker int, start, dur time.Duration) runtime.TaskRecord {
+	return runtime.TaskRecord{Label: label, Worker: worker, Start: start, Duration: dur}
+}
+
+func TestClassExtraction(t *testing.T) {
+	cases := map[string]string{
+		"gemm(3,5,1)":        "gemm",
+		"potrf(2)/trsm(0,1)": "potrf",
+		"plain":              "plain",
+		"syrk(1,2)":          "syrk",
+	}
+	for label, want := range cases {
+		if got := Class(label); got != want {
+			t.Fatalf("Class(%q) = %q, want %q", label, got, want)
+		}
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	recs := []runtime.TaskRecord{
+		rec("potrf(0)", 0, 0, 10*time.Millisecond),
+		rec("trsm(0,1)", 1, 10*time.Millisecond, 5*time.Millisecond),
+		rec("trsm(0,2)", 0, 10*time.Millisecond, 5*time.Millisecond),
+		rec("gemm(0,2,1)", 1, 15*time.Millisecond, 5*time.Millisecond),
+	}
+	s := Analyze(recs)
+	if s.Makespan != 20*time.Millisecond {
+		t.Fatalf("makespan %v", s.Makespan)
+	}
+	if s.Workers != 2 {
+		t.Fatalf("workers %d", s.Workers)
+	}
+	if s.Utilization[0] != 0.75 || s.Utilization[1] != 0.5 {
+		t.Fatalf("utilization %v", s.Utilization)
+	}
+	if s.Classes[0].Class != "potrf" && s.Classes[0].Class != "trsm" {
+		t.Fatalf("classes should be sorted by total time: %+v", s.Classes)
+	}
+	var trsm *ClassStat
+	for i := range s.Classes {
+		if s.Classes[i].Class == "trsm" {
+			trsm = &s.Classes[i]
+		}
+	}
+	if trsm == nil || trsm.Count != 2 || trsm.Total != 10*time.Millisecond {
+		t.Fatalf("trsm aggregation wrong: %+v", trsm)
+	}
+	if !strings.Contains(s.String(), "trsm") {
+		t.Fatalf("summary rendering missing class")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	recs := []runtime.TaskRecord{
+		rec("potrf(0)", 0, 0, 10*time.Millisecond),
+		rec("gemm(0,2,1)", 1, 10*time.Millisecond, 10*time.Millisecond),
+	}
+	g := Gantt(recs, 20)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 worker rows:\n%s", g)
+	}
+	if !strings.Contains(lines[0], "p") || !strings.Contains(lines[1], "g") {
+		t.Fatalf("class initials missing:\n%s", g)
+	}
+	// Worker 1 idles during the first half.
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("idle time not rendered:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if Gantt(nil, 40) != "" {
+		t.Fatalf("empty trace should render empty")
+	}
+}
+
+func TestEndToEndWithRuntime(t *testing.T) {
+	g := runtime.NewGraph()
+	a := g.NewTask("potrf(0)", 2, func() error { time.Sleep(time.Millisecond); return nil })
+	b := g.NewTask("trsm(0,1)", 1, func() error { time.Sleep(time.Millisecond); return nil })
+	g.AddDep(a, b)
+	if _, err := g.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Trace()
+	if len(recs) != 2 {
+		t.Fatalf("expected 2 records, got %d", len(recs))
+	}
+	s := Analyze(recs)
+	if s.Makespan < 2*time.Millisecond {
+		t.Fatalf("makespan too small: %v", s.Makespan)
+	}
+	if Gantt(recs, 30) == "" {
+		t.Fatalf("gantt should render")
+	}
+}

@@ -1,0 +1,248 @@
+// Package trim implements the dynamic DAG trimming of Section VI: a
+// pre-factorization analysis of the compressed matrix (Algorithm 1 of
+// the paper, reproduced line by line) that identifies the null tiles
+// and predicts fill-in, so only tasks touching non-zero or fill-in
+// tiles are handed to the runtime system.
+//
+// Two implementations of the Structure interface exist: Analysis (the
+// sparse result of Algorithm 1) and Full (the untrimmed dense DAG used
+// by the Lorapo baseline, represented implicitly so it costs no
+// memory). Both drive the shared-memory runtime and the distributed
+// simulator identically, which is exactly the separation the paper's
+// DSL achieves: the execution space of each task class is a pluggable
+// description.
+package trim
+
+import "time"
+
+// Structure describes the execution space of the tile Cholesky task
+// classes: which TRSM/SYRK/GEMM task instances exist for a given matrix
+// structure. Indices follow the paper's convention: panel k, tile (m,n)
+// with m > n.
+type Structure interface {
+	// NT returns the number of tile rows/columns.
+	NT() int
+	// NbTrsm returns how many TRSM tasks panel k spawns; TrsmAt(k,i)
+	// returns the row index m of the i-th one (ascending in m).
+	NbTrsm(k int) int
+	TrsmAt(k, i int) int
+	// NbSyrk returns how many SYRK updates diagonal tile m receives;
+	// SyrkAt(m,i) returns the panel index k of the i-th one (ascending).
+	NbSyrk(m int) int
+	SyrkAt(m, i int) int
+	// NbGemm returns how many GEMM updates tile (m,n) receives;
+	// GemmAt(m,n,i) returns the panel index k of the i-th one (ascending).
+	NbGemm(m, n int) int
+	GemmAt(m, n, i int) int
+	// NonZero reports whether tile (m,n), m > n, is structurally non-zero
+	// in the factor (initially non-zero or filled in).
+	NonZero(m, n int) bool
+}
+
+// Analysis is the hicma_parsec_analysis_t of Algorithm 1: per-panel
+// TRSM lists, per-diagonal SYRK lists and per-tile GEMM lists over the
+// non-zero structure, with fill-in folded in.
+type Analysis struct {
+	nt     int
+	trsm   [][]int32 // trsm[k] = sorted m with tile (m,k) structurally non-zero
+	syrk   [][]int32 // syrk[m] = sorted k contributing SYRK to diagonal m
+	gemm   [][]int32 // gemm[idx(m,n)] = sorted k contributing GEMM to (m,n); nil for remote tiles
+	nbGemm []int32   // counts for all tiles, local or not (paper line 20)
+	final  []bool    // final non-zero structure, idx(m,n)
+	// Overhead metering for Fig 6 (right).
+	AnalysisTime  time.Duration
+	AnalysisBytes int
+}
+
+// idx linearizes the strictly-lower triangle: tile (m,n), m > n.
+func (a *Analysis) idx(m, n int) int { return n*a.nt + m }
+
+// LocalFunc reports whether tile (m,n) resides on the calling process.
+// The distributed version of Algorithm 1 (paper, end of Section VI)
+// only allocates GEMM lists for local tiles, limiting the per-process
+// memory needed to analyze the sparsity pattern.
+type LocalFunc func(m, n int) bool
+
+// AllLocal is the shared-memory LocalFunc: every tile is local.
+func AllLocal(m, n int) bool { return true }
+
+// Analyze runs Algorithm 1 on the initial rank array. rank[m][n] (m > n)
+// holds the rank of tile (m,n) after compression; zero marks a null
+// tile. The returned Analysis describes the trimmed DAG. local selects
+// the tiles whose GEMM lists materialize (AllLocal for shared memory).
+func Analyze(rank RankArray, local LocalFunc) *Analysis {
+	start := time.Now()
+	nt := rank.NT()
+	a := &Analysis{
+		nt:     nt,
+		trsm:   make([][]int32, nt),
+		syrk:   make([][]int32, nt),
+		gemm:   make([][]int32, nt*nt),
+		nbGemm: make([]int32, nt*nt),
+		final:  make([]bool, nt*nt),
+	}
+	// Working copy of the rank structure: rk[n*nt+m] > 0 means tile (m,n)
+	// is (now) non-zero. Mirrors the paper's 1D 'rank' array.
+	rk := make([]uint8, nt*nt)
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			if rank.Rank(m, n) > 0 {
+				rk[n*nt+m] = 1
+			}
+		}
+	}
+	for k := 0; k < nt-1; k++ { // paper line 2
+		for m := k + 1; m < nt; m++ { // lines 4–10
+			if rk[k*nt+m] > 0 {
+				a.trsm[k] = append(a.trsm[k], int32(m)) // lines 6–7
+				a.syrk[m] = append(a.syrk[m], int32(k)) // lines 8–10
+			}
+		}
+		lst := a.trsm[k]
+		for i := 1; i < len(lst); i++ { // lines 11–20
+			for j := 0; j < i; j++ {
+				m := int(lst[i]) // line 13
+				n := int(lst[j]) // line 14
+				rk[n*nt+m] = 1   // line 15: fill-in
+				if local(m, n) { // lines 16–19
+					a.gemm[a.idx(m, n)] = append(a.gemm[a.idx(m, n)], int32(k))
+				}
+				a.nbGemm[a.idx(m, n)]++ // line 20
+			}
+		}
+	}
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			a.final[a.idx(m, n)] = rk[n*nt+m] > 0
+		}
+	}
+	a.AnalysisTime = time.Since(start)
+	a.AnalysisBytes = a.footprint()
+	return a
+}
+
+func (a *Analysis) footprint() int {
+	b := a.nt * a.nt // rank working array (1 byte/tile), freed after analysis
+	for _, l := range a.trsm {
+		b += 4 * len(l)
+	}
+	for _, l := range a.syrk {
+		b += 4 * len(l)
+	}
+	for _, l := range a.gemm {
+		b += 4 * len(l)
+	}
+	b += 4*len(a.nbGemm) + len(a.final)
+	return b
+}
+
+// NT implements Structure.
+func (a *Analysis) NT() int { return a.nt }
+
+// NbTrsm implements Structure.
+func (a *Analysis) NbTrsm(k int) int { return len(a.trsm[k]) }
+
+// TrsmAt implements Structure.
+func (a *Analysis) TrsmAt(k, i int) int { return int(a.trsm[k][i]) }
+
+// NbSyrk implements Structure.
+func (a *Analysis) NbSyrk(m int) int { return len(a.syrk[m]) }
+
+// SyrkAt implements Structure.
+func (a *Analysis) SyrkAt(m, i int) int { return int(a.syrk[m][i]) }
+
+// NbGemm implements Structure. For remote tiles (not selected by the
+// LocalFunc) only the count is available; GemmAt panics there.
+func (a *Analysis) NbGemm(m, n int) int { return int(a.nbGemm[a.idx(m, n)]) }
+
+// GemmAt implements Structure.
+func (a *Analysis) GemmAt(m, n, i int) int { return int(a.gemm[a.idx(m, n)][i]) }
+
+// NonZero implements Structure.
+func (a *Analysis) NonZero(m, n int) bool { return a.final[a.idx(m, n)] }
+
+// TaskCounts tallies the task instances of the trimmed DAG, the
+// quantity Fig 5 plots and Fig 6 attributes the savings to.
+func TaskCounts(s Structure) (potrf, trsm, syrk, gemm int) {
+	nt := s.NT()
+	potrf = nt
+	for k := 0; k < nt; k++ {
+		trsm += s.NbTrsm(k)
+		syrk += s.NbSyrk(k)
+	}
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			gemm += s.NbGemm(m, n)
+		}
+	}
+	return
+}
+
+// FinalDensity returns the ratio of structurally non-zero off-diagonal
+// tiles after factorization (fill-in included).
+func FinalDensity(s Structure) float64 {
+	nt := s.NT()
+	if nt < 2 {
+		return 0
+	}
+	var nz, total int
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			total++
+			if s.NonZero(m, n) {
+				nz++
+			}
+		}
+	}
+	return float64(nz) / float64(total)
+}
+
+// RankArray exposes the initial (post-compression) rank structure to
+// the analysis.
+type RankArray interface {
+	NT() int
+	// Rank returns the rank of tile (m,n), m > n; 0 for null tiles.
+	Rank(m, n int) int
+}
+
+// Ranks is a plain 2D implementation of RankArray (lower triangle).
+type Ranks struct {
+	N int
+	R [][]int // R[m][n], n < m
+}
+
+// NT implements RankArray.
+func (r Ranks) NT() int { return r.N }
+
+// Rank implements RankArray.
+func (r Ranks) Rank(m, n int) int { return r.R[m][n] }
+
+// Full is the untrimmed execution space: every tile is assumed
+// non-zero, reproducing the dense Cholesky DAG the runtime sees without
+// trimming (the Lorapo baseline of the paper). It is implicit, so even
+// huge NT cost nothing to represent.
+type Full struct{ Nt int }
+
+// NT implements Structure.
+func (f Full) NT() int { return f.Nt }
+
+// NbTrsm implements Structure.
+func (f Full) NbTrsm(k int) int { return f.Nt - k - 1 }
+
+// TrsmAt implements Structure.
+func (f Full) TrsmAt(k, i int) int { return k + 1 + i }
+
+// NbSyrk implements Structure.
+func (f Full) NbSyrk(m int) int { return m }
+
+// SyrkAt implements Structure.
+func (f Full) SyrkAt(m, i int) int { return i }
+
+// NbGemm implements Structure.
+func (f Full) NbGemm(m, n int) int { return n }
+
+// GemmAt implements Structure.
+func (f Full) GemmAt(m, n, i int) int { return i }
+
+// NonZero implements Structure.
+func (f Full) NonZero(m, n int) bool { return true }
