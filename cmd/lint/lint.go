@@ -1,0 +1,408 @@
+package main
+
+// Concurrency-hygiene lint over the repo's own source, stdlib-only
+// (go/ast + go/parser, no type checker). It complements `go vet` with
+// four checks aimed at the defects a task-parallel runtime codebase is
+// most at risk of:
+//
+//   sync-by-value   a sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool
+//                   passed, received or returned by value — the copy
+//                   desynchronizes from the original;
+//   add-in-goroutine  sync.WaitGroup.Add called inside the goroutine
+//                   it accounts for — Wait can run before Add,
+//                   returning early;
+//   loop-capture    a goroutine closing over its loop variable without
+//                   shadowing it — per-iteration semantics only hold
+//                   from Go 1.22, and the idiom stays a portability
+//                   hazard;
+//   unjoined-go     a goroutine launched from library (non-main)
+//                   code whose enclosing function shows no sign of
+//                   joining it (no Wait, channel receive or select) —
+//                   library code must not leak goroutines it cannot
+//                   hand back.
+//
+// These are AST heuristics, tuned to report zero findings on this
+// tree; they prefer false negatives over noise.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type finding struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.check, f.msg)
+}
+
+// expand resolves package patterns ("./...", directories, files) into
+// the Go source files to lint. Test files, testdata, vendor and hidden
+// directories are skipped: the lint targets library and command
+// source.
+func expand(patterns []string) ([]string, error) {
+	var files []string
+	add := func(path string) {
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := filepath.Clean(rest)
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if path != root && (name == "testdata" || name == "vendor" ||
+						strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				add(filepath.Join(p, e.Name()))
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func lintFiles(files []string) ([]finding, error) {
+	fset := token.NewFileSet()
+	var all []finding
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, lintFile(fset, f)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.check < b.check
+	})
+	return all, nil
+}
+
+var syncByValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// syncValueType reports the sync.X name if expr is a by-value use of a
+// lock-carrying sync type.
+func syncValueType(expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" || !syncByValueTypes[sel.Sel.Name] {
+		return "", false
+	}
+	return "sync." + sel.Sel.Name, true
+}
+
+func lintFile(fset *token.FileSet, f *ast.File) []finding {
+	var fs []finding
+	report := func(pos token.Pos, check, format string, args ...interface{}) {
+		fs = append(fs, finding{pos: fset.Position(pos), check: check, msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Pass 1: by-value sync types in any function signature (decls and
+	// literals alike).
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if name, ok := syncValueType(field.Type); ok {
+				report(field.Pos(), "sync-by-value",
+					"%s copies %s by value; use *%s", what, name, name)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(fn.Recv, "receiver")
+			checkFieldList(fn.Type.Params, "parameter")
+			checkFieldList(fn.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(fn.Type.Params, "parameter")
+			checkFieldList(fn.Type.Results, "result")
+		}
+		return true
+	})
+
+	// Names declared as sync.WaitGroup anywhere in the file (var decls,
+	// composite-literal assignments, pointer params): the receivers the
+	// add-in-goroutine check watches.
+	wgNames := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			if d.Type != nil {
+				if t, ok := stripStar(d.Type).(*ast.SelectorExpr); ok && isSyncSel(t, "WaitGroup") {
+					for _, name := range d.Names {
+						wgNames[name.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range d.Rhs {
+				if i >= len(d.Lhs) {
+					break
+				}
+				if lit, ok := rhs.(*ast.CompositeLit); ok {
+					if t, ok := lit.Type.(*ast.SelectorExpr); ok && isSyncSel(t, "WaitGroup") {
+						if id, ok := d.Lhs[i].(*ast.Ident); ok {
+							wgNames[id.Name] = true
+						}
+					}
+				}
+			}
+		case *ast.Field:
+			if t, ok := stripStar(d.Type).(*ast.SelectorExpr); ok && isSyncSel(t, "WaitGroup") {
+				for _, name := range d.Names {
+					wgNames[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: WaitGroup.Add inside a go-launched function literal.
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && wgNames[id.Name] {
+				report(call.Pos(), "add-in-goroutine",
+					"%s.Add inside the goroutine it accounts for; call Add before the go statement", id.Name)
+			}
+			return true
+		})
+		return true
+	})
+
+	// Pass 3: loop-variable capture in go statements.
+	ast.Inspect(f, func(n ast.Node) bool {
+		var loopVars []string
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if l.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{l.Key, l.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						loopVars = append(loopVars, id.Name)
+					}
+				}
+			}
+			body = l.Body
+		case *ast.ForStmt:
+			if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, e := range init.Lhs {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						loopVars = append(loopVars, id.Name)
+					}
+				}
+			}
+			body = l.Body
+		default:
+			return true
+		}
+		if len(loopVars) == 0 || body == nil {
+			return true
+		}
+		// `x := x` (or any re-declare of x) in the loop body shadows the
+		// loop variable for the goroutines below it.
+		shadowed := map[string]bool{}
+		for _, st := range body.List {
+			if as, ok := st.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+				for _, e := range as.Lhs {
+					if id, ok := e.(*ast.Ident); ok {
+						shadowed[id.Name] = true
+					}
+				}
+			}
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			g, ok := m.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			rebound := map[string]bool{}
+			for _, p := range lit.Type.Params.List {
+				for _, name := range p.Names {
+					rebound[name.Name] = true
+				}
+			}
+			ast.Inspect(lit.Body, func(x ast.Node) bool {
+				if as, ok := x.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					for _, e := range as.Lhs {
+						if id, ok := e.(*ast.Ident); ok {
+							rebound[id.Name] = true
+						}
+					}
+				}
+				return true
+			})
+			for _, v := range loopVars {
+				if shadowed[v] || rebound[v] {
+					continue
+				}
+				if usesIdent(lit.Body, v) {
+					report(g.Pos(), "loop-capture",
+						"goroutine captures loop variable %q; shadow it (%s := %s) or pass it as an argument", v, v, v)
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	// Pass 4: unjoined goroutines in library code. main packages own
+	// the process lifetime; libraries must join what they spawn.
+	if f.Name.Name != "main" {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			joins := functionJoins(fn.Body)
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				if g, ok := m.(*ast.GoStmt); ok && !joins {
+					report(g.Pos(), "unjoined-go",
+						"library function %s launches a goroutine but never joins (no Wait, channel receive or select)", fn.Name.Name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return fs
+}
+
+func stripStar(e ast.Expr) ast.Expr {
+	if s, ok := e.(*ast.StarExpr); ok {
+		return s.X
+	}
+	return e
+}
+
+func isSyncSel(sel *ast.SelectorExpr, name string) bool {
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "sync" && sel.Sel.Name == name
+}
+
+func usesIdent(n ast.Node, name string) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if used {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			// Only the X side of a selector is a variable use.
+			ast.Inspect(sel.X, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					used = true
+				}
+				return !used
+			})
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// functionJoins reports whether a function body shows any sign of
+// waiting for concurrent work: a .Wait() call, a channel receive, or a
+// select statement.
+func functionJoins(body *ast.BlockStmt) bool {
+	joins := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joins = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				joins = true
+			}
+		case *ast.SelectStmt:
+			joins = true
+		}
+		return !joins
+	})
+	return joins
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fixtureFindings(t *testing.T) []finding {
+	t.Helper()
+	files, err := expand([]string{"testdata/src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("fixture not found")
+	}
+	fs, err := lintFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestLintFixture seeds one defect per check class and demands each is
+// flagged — and nothing else.
+func TestLintFixture(t *testing.T) {
+	fs := fixtureFindings(t)
+	byCheck := map[string]int{}
+	for _, f := range fs {
+		byCheck[f.check]++
+		t.Logf("%v", f)
+	}
+	for _, check := range []string{"sync-by-value", "add-in-goroutine", "loop-capture", "unjoined-go"} {
+		if byCheck[check] != 1 {
+			t.Errorf("check %s: want exactly 1 finding, got %d", check, byCheck[check])
+		}
+	}
+	if len(fs) != 4 {
+		t.Errorf("want 4 findings total (the clean function must stay clean), got %d", len(fs))
+	}
+}
+
+// TestLintRepoClean walks the real tree: the linter must report
+// nothing, which is what scripts/check.sh gates on.
+func TestLintRepoClean(t *testing.T) {
+	files, err := expand([]string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 40 {
+		t.Fatalf("suspiciously few files under the repo root: %d", len(files))
+	}
+	fs, err := lintFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("unexpected finding: %v", f)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"testdata/src"}, &out); code != 1 {
+		t.Fatalf("fixture run: want exit 1, got %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "4 finding(s)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"main.go"}, &out); code != 0 {
+		t.Fatalf("clean run: want exit 0, got %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"does-not-exist"}, &out); code != 2 {
+		t.Fatalf("bad path: want exit 2, got %d", code)
+	}
+}

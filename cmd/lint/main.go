@@ -1,0 +1,42 @@
+// Command lint is the repo's concurrency-hygiene linter (see lint.go
+// for the checks). Usage:
+//
+//	go run ./cmd/lint ./...
+//
+// It prints one line per finding and exits non-zero if any were found,
+// so scripts/check.sh can gate on it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	files, err := expand(args)
+	if err != nil {
+		fmt.Fprintf(out, "lint: %v\n", err)
+		return 2
+	}
+	findings, err := lintFiles(files)
+	if err != nil {
+		fmt.Fprintf(out, "lint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "lint: %d finding(s) in %d file(s)\n", len(findings), len(files))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,48 @@
+// Package fixture seeds one instance of every defect class cmd/lint
+// detects. It lives under testdata so the go tool never builds or vets
+// it; the lint tests parse it directly.
+package fixture
+
+import "sync"
+
+// copiesMutex passes a lock by value: the callee locks a copy.
+func copiesMutex(mu sync.Mutex) { // want sync-by-value
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// addsInsideGoroutine races Add against Wait, and captures the loop
+// variable in the goroutine.
+func addsInsideGoroutine() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() {
+			wg.Add(1) // want add-in-goroutine
+			defer wg.Done()
+			work(i) // want loop-capture (reported on the go statement)
+		}()
+	}
+	wg.Wait()
+}
+
+// leaks launches a goroutine library code never joins.
+func leaks() {
+	go work(0) // want unjoined-go
+}
+
+// joined is clean: Add before the go statement, loop variable
+// shadowed, goroutines joined.
+func joined() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func work(int) {}

@@ -18,6 +18,7 @@ import (
 	"tlrchol/internal/rbf"
 	"tlrchol/internal/tilemat"
 	"tlrchol/internal/trace"
+	sverify "tlrchol/internal/verify"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	seq := flag.Bool("sequential", false, "bypass the runtime (reference loop order)")
 	verify := flag.Bool("verify", true, "verify the factor against the dense operator (costs O(n^3) memory/time)")
+	check := flag.Bool("check", false, "statically verify the trimming analysis and task graph before executing (package verify)")
 	showTrace := flag.Bool("trace", false, "print a per-class time breakdown and an ASCII Gantt chart")
 	nested := flag.Int("nested", 0, "nested-parallel diagonal POTRF sub-tile size (0 = off)")
 	kernelName := flag.String("kernel", "gaussian", "RBF kernel: gaussian (global support) or wendland (compact support)")
@@ -60,6 +62,28 @@ func main() {
 		float64(st.DenseBytes)/float64(st.CompressedBytes))
 	fmt.Printf("initial structure: density=%.3f  ranks max/avg/min = %d/%.1f/%d  (NT=%d)\n",
 		stats.Density, stats.Max, stats.Avg, stats.Min, m.NT)
+
+	if *check && !*seq {
+		s := core.Structure(m, *trim)
+		var fs sverify.Findings
+		if *trim {
+			fs = append(fs, sverify.CheckTrim(s, core.Ranks(m))...)
+		}
+		g := core.BuildGraph(m, s, core.Options{Tol: *tol, NestedDiag: *nested})
+		fs = append(fs, sverify.CheckGraph(g)...)
+		for _, f := range fs {
+			fmt.Fprintf(os.Stderr, "static check: %v\n", f)
+		}
+		if err := fs.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "static verification failed; refusing to execute")
+			os.Exit(1)
+		}
+		passes := "graph acyclic and hazard-complete"
+		if *trim {
+			passes = "trim sound, " + passes
+		}
+		fmt.Printf("static verification: %s (%d tasks, %d edges)\n", passes, g.Tasks(), g.Edges())
+	}
 
 	var ref *dense.Matrix
 	if *verify {

@@ -74,6 +74,11 @@ func (r rankArray) Rank(m, n int) int {
 	return r.m.At(m, n).Rank()
 }
 
+// Ranks exposes the matrix's post-compression rank structure — the
+// input Algorithm 1 analyzes, and the ground truth the static trim
+// verifier (package verify) checks an analysis against.
+func Ranks(m *tilemat.Matrix) trim.RankArray { return rankArray{m} }
+
 // Structure returns the execution-space description for the matrix
 // under the given options: the trimmed Analysis or the implicit Full
 // DAG.
@@ -149,6 +154,21 @@ func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options) erro
 // pattern of the tile Cholesky, serialized per written tile, and
 // critical-path-first priorities.
 func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runtime.Stats, []runtime.TaskRecord, error) {
+	g := BuildGraph(m, s, opts)
+	st, err := g.Run(opts.Workers)
+	var recs []runtime.TaskRecord
+	if opts.CollectTrace {
+		recs = g.Trace()
+	}
+	return st, recs, err
+}
+
+// BuildGraph unrolls the factorization task graph without running it.
+// Besides wiring the edges by hand (the fast path Factorize uses), it
+// declares each task's tile accesses, so the static verifier (package
+// verify) can independently replay the access stream and prove the
+// hand-built edges cover every RAW/WAR/WAW hazard.
+func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Graph {
 	nt := m.NT
 	g := runtime.NewGraph()
 	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
@@ -184,6 +204,9 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 				g.AddDep(lw, pt)
 			}
 		}
+		// The (nested or plain) POTRF stands in as the writer of the
+		// diagonal tile for hazard-replay purposes.
+		pt.DeclareAccesses(runtime.W(tileKey{k, k}))
 		potrfT[k] = pt
 		lastWriter[tileKey{k, k}] = pt
 
@@ -194,6 +217,7 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 				tlr.Trsm(m.At(k, k).D, m.At(mi, k))
 				return nil
 			})
+			tt.DeclareAccesses(runtime.R(tileKey{k, k}), runtime.W(tileKey{mi, k}))
 			g.AddDep(pt, tt)
 			if lw := lastWriter[tileKey{mi, k}]; lw != nil {
 				g.AddDep(lw, tt)
@@ -205,6 +229,7 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 				tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
 				return nil
 			})
+			st.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.W(tileKey{mi, mi}))
 			g.AddDep(tt, st)
 			if lw := lastWriter[tileKey{mi, mi}]; lw != nil {
 				g.AddDep(lw, st)
@@ -217,6 +242,8 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 					m.Set(mi, ni, tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg))
 					return nil
 				})
+				gt.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.R(tileKey{ni, k}),
+					runtime.W(tileKey{mi, ni}))
 				g.AddDep(tt, gt)
 				g.AddDep(trsmT[tileKey{ni, k}], gt)
 				if lw := lastWriter[tileKey{mi, ni}]; lw != nil {
@@ -226,10 +253,5 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 			}
 		}
 	}
-	st, err := g.Run(opts.Workers)
-	var recs []runtime.TaskRecord
-	if opts.CollectTrace {
-		recs = g.Trace()
-	}
-	return st, recs, err
+	return g
 }

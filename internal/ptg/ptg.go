@@ -52,39 +52,84 @@ type Program struct {
 	Classes []Class
 }
 
+// Instance is one concrete task instance of a program: a class, a
+// parameter tuple drawn from its space, and the dataflow the class
+// declares for that tuple. Seq is the instance's position in class
+// declaration order — the sequential semantics Instantiate preserves.
+// Enumerating instances without building a graph is what lets static
+// verification (package verify) inspect a program before any task is
+// created.
+type Instance struct {
+	Class  *Class
+	P      Params
+	Reads  []DataRef
+	Writes []DataRef
+	Seq    int
+}
+
+// Label returns the task label of the instance.
+func (it Instance) Label() string {
+	return fmt.Sprintf("%s(%d,%d,%d)", it.Class.Name, it.P[0], it.P[1], it.P[2])
+}
+
+// Instances enumerates every task instance of the program, class by
+// class in declaration order, evaluating each class's space and
+// dataflow declarations exactly once per instance.
+func (pr Program) Instances() ([]Instance, error) {
+	var all []Instance
+	for ci := range pr.Classes {
+		c := &pr.Classes[ci]
+		if c.Space == nil {
+			return nil, fmt.Errorf("ptg: class %s has no space", c.Name)
+		}
+		for _, p := range c.Space() {
+			it := Instance{Class: c, P: p, Seq: len(all)}
+			if c.Reads != nil {
+				it.Reads = c.Reads(p)
+			}
+			if c.Writes != nil {
+				it.Writes = c.Writes(p)
+			}
+			all = append(all, it)
+		}
+	}
+	return all, nil
+}
+
+// insert adds one instance to the DTD front end, translating its
+// dataflow declarations into runtime accesses.
+func insert(in *runtime.Inserter, it Instance) {
+	acc := make([]runtime.Access, 0, len(it.Reads)+len(it.Writes))
+	for _, r := range it.Reads {
+		acc = append(acc, runtime.R(r))
+	}
+	for _, w := range it.Writes {
+		acc = append(acc, runtime.W(w))
+	}
+	c, p := it.Class, it.P
+	var prio int64
+	if c.Priority != nil {
+		prio = c.Priority(p)
+	}
+	var body func() error
+	if c.Body != nil {
+		body = func() error { return c.Body(p) }
+	}
+	in.Insert(it.Label(), prio, body, acc...)
+}
+
 // Instantiate unrolls the program into a task graph: instances are
 // created class by class in the order Space yields them, and
 // dependencies are inferred from the read/write declarations with the
 // usual RAW/WAR/WAW hazard rules.
 func (pr Program) Instantiate() (*runtime.Graph, error) {
+	all, err := pr.Instances()
+	if err != nil {
+		return nil, err
+	}
 	in := runtime.NewInserter()
-	for _, c := range pr.Classes {
-		if c.Space == nil {
-			return nil, fmt.Errorf("ptg: class %s has no space", c.Name)
-		}
-		for _, p := range c.Space() {
-			p := p
-			var acc []runtime.Access
-			if c.Reads != nil {
-				for _, r := range c.Reads(p) {
-					acc = append(acc, runtime.R(r))
-				}
-			}
-			if c.Writes != nil {
-				for _, w := range c.Writes(p) {
-					acc = append(acc, runtime.W(w))
-				}
-			}
-			var prio int64
-			if c.Priority != nil {
-				prio = c.Priority(p)
-			}
-			var body func() error
-			if c.Body != nil {
-				body = func() error { return c.Body(p) }
-			}
-			in.Insert(fmt.Sprintf("%s(%d,%d,%d)", c.Name, p[0], p[1], p[2]), prio, body, acc...)
-		}
+	for _, it := range all {
+		insert(in, it)
 	}
 	return in.Graph(), nil
 }
@@ -95,52 +140,23 @@ func (pr Program) Instantiate() (*runtime.Graph, error) {
 // needs this (the panel loop interleaves POTRF/TRSM/SYRK/GEMM across
 // k), and it mirrors how the JDF's owner algorithm orders statements.
 func (pr Program) Interleaved(key func(class string, p Params) int64) (*runtime.Graph, error) {
-	type inst struct {
-		class *Class
-		p     Params
-		k     int64
-		seq   int
+	all, err := pr.Instances()
+	if err != nil {
+		return nil, err
 	}
-	var all []inst
-	for ci := range pr.Classes {
-		c := &pr.Classes[ci]
-		if c.Space == nil {
-			return nil, fmt.Errorf("ptg: class %s has no space", c.Name)
-		}
-		for _, p := range c.Space() {
-			all = append(all, inst{class: c, p: p, k: key(c.Name, p), seq: len(all)})
-		}
+	keys := make([]int64, len(all))
+	for i, it := range all {
+		keys[i] = key(it.Class.Name, it.P)
 	}
 	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].k != all[j].k {
-			return all[i].k < all[j].k
+		if keys[all[i].Seq] != keys[all[j].Seq] {
+			return keys[all[i].Seq] < keys[all[j].Seq]
 		}
-		return all[i].seq < all[j].seq
+		return all[i].Seq < all[j].Seq
 	})
 	in := runtime.NewInserter()
 	for _, it := range all {
-		c, p := it.class, it.p
-		var acc []runtime.Access
-		if c.Reads != nil {
-			for _, r := range c.Reads(p) {
-				acc = append(acc, runtime.R(r))
-			}
-		}
-		if c.Writes != nil {
-			for _, w := range c.Writes(p) {
-				acc = append(acc, runtime.W(w))
-			}
-		}
-		var prio int64
-		if c.Priority != nil {
-			prio = c.Priority(p)
-		}
-		var body func() error
-		if c.Body != nil {
-			p := p
-			body = func() error { return c.Body(p) }
-		}
-		in.Insert(fmt.Sprintf("%s(%d,%d,%d)", c.Name, p[0], p[1], p[2]), prio, body, acc...)
+		insert(in, it)
 	}
 	return in.Graph(), nil
 }

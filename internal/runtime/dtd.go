@@ -58,9 +58,11 @@ func NewInserter() *Inserter {
 // Insert adds a task that touches the given data. Dependencies are
 // inferred: a read waits for the datum's last writer; a write waits
 // for the last writer and every read inserted since (RAW, WAW and WAR
-// hazards respectively).
+// hazards respectively). The accesses are recorded on the task (see
+// Task.Accesses), so verification passes can replay them.
 func (in *Inserter) Insert(label string, priority int64, run func() error, accesses ...Access) *Task {
 	t := in.g.NewTask(label, priority, run)
+	t.DeclareAccesses(accesses...)
 	dedup := map[*Task]bool{}
 	dep := func(p *Task) {
 		if p != nil && p != t && !dedup[p] {

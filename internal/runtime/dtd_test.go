@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -120,5 +121,72 @@ func TestDTDCholesky(t *testing.T) {
 	}
 	if _, err := in.Run(8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDTDWARHazardUnderRace stresses the anti-dependency with a plain
+// (non-atomic) shared variable: the inferred reader -> later-writer
+// edge is the only thing standing between the two accesses, so a
+// missing WAR edge shows up both as a race-detector report (under
+// -race) and as a wrong value read.
+func TestDTDWARHazardUnderRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		in := NewInserter()
+		x := 1
+		got := 0
+		in.Insert("read", 0, func() error { got = x; return nil }, R("x"))
+		in.Insert("write", 0, func() error { x = 2; return nil }, W("x"))
+		if _, err := in.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("iter %d: reader observed the later write: got %d", iter, got)
+		}
+	}
+}
+
+// TestDTDWAWChainUnderRace runs a chain of writers to one plain datum:
+// the inferred WAW edges must serialize them in insertion order, so
+// the final value is the last write — and -race sees the chain as a
+// happens-before ladder, not a pile of conflicting writes.
+func TestDTDWAWChainUnderRace(t *testing.T) {
+	const writers = 6
+	for iter := 0; iter < 50; iter++ {
+		in := NewInserter()
+		x := 0
+		for i := 1; i <= writers; i++ {
+			i := i
+			in.Insert(fmt.Sprintf("w%d", i), 0, func() error { x = i; return nil }, W("x"))
+		}
+		if in.Graph().Edges() != writers-1 {
+			t.Fatalf("WAW chain must have %d edges, got %d", writers-1, in.Graph().Edges())
+		}
+		if _, err := in.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		if x != writers {
+			t.Fatalf("iter %d: writes not serialized: final value %d", iter, x)
+		}
+	}
+}
+
+// TestDTDReadersThenWriterUnderRace combines both anti-dependencies:
+// two concurrent readers followed by a writer, all on plain variables,
+// repeated to let the scheduler explore interleavings.
+func TestDTDReadersThenWriterUnderRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		in := NewInserter()
+		x := 7
+		var r1, r2 int
+		in.Insert("w0", 0, func() error { x = 7; return nil }, W("x"))
+		in.Insert("r1", 0, func() error { r1 = x; return nil }, R("x"))
+		in.Insert("r2", 0, func() error { r2 = x; return nil }, R("x"))
+		in.Insert("w1", 0, func() error { x = 9; return nil }, W("x"))
+		if _, err := in.Run(4); err != nil {
+			t.Fatal(err)
+		}
+		if r1 != 7 || r2 != 7 {
+			t.Fatalf("iter %d: readers raced the writer: r1=%d r2=%d", iter, r1, r2)
+		}
 	}
 }

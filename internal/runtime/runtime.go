@@ -38,11 +38,36 @@ type Task struct {
 	id        int
 	waits     int32 // remaining unfinished predecessors
 	succs     []*Task
+	accesses  []Access
 	ran       bool
 	worker    int
 	startedAt time.Duration
 	duration  time.Duration
 	cpLen     int64 // critical-path length in tasks, for reporting
+}
+
+// ID returns the task's creation index in its graph. IDs are dense in
+// [0, Graph.Tasks()) and follow insertion order, which is the
+// sequential-semantics order the dependency structure must preserve.
+func (t *Task) ID() int { return t.id }
+
+// Successors returns the tasks that depend on t. The slice is owned by
+// the graph; callers must not modify it.
+func (t *Task) Successors() []*Task { return t.succs }
+
+// Accesses returns the data accesses declared for t, in declaration
+// order. Tasks inserted through the DTD Inserter carry their accesses
+// automatically; tasks wired manually with AddDep carry none unless
+// DeclareAccesses was called. The slice is owned by the task.
+func (t *Task) Accesses() []Access { return t.accesses }
+
+// DeclareAccesses records data accesses on the task without inferring
+// any dependencies. It exists for graph builders that wire edges by
+// hand (package core) but still want static verifiers (package verify)
+// to be able to replay the access stream and prove the hand-built
+// edges hazard-complete.
+func (t *Task) DeclareAccesses(accesses ...Access) {
+	t.accesses = append(t.accesses, accesses...)
 }
 
 // Graph is a task DAG under construction and its execution engine.
@@ -70,6 +95,11 @@ func (g *Graph) AddDep(pred, succ *Task) {
 
 // Tasks returns the number of tasks in the graph.
 func (g *Graph) Tasks() int { return len(g.tasks) }
+
+// Task returns the task with the given ID (creation index). It lets
+// inspection passes walk the graph without holding on to the *Task
+// values returned at construction time.
+func (g *Graph) Task(id int) *Task { return g.tasks[id] }
 
 // Edges returns the number of dependencies in the graph.
 func (g *Graph) Edges() int { return g.edges }

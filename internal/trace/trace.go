@@ -41,16 +41,21 @@ func Class(label string) string {
 	return label
 }
 
-// Analyze summarizes a trace.
+// Analyze summarizes a trace. The output is deterministic for a given
+// trace: per-worker rows are indexed by worker ID and class stats are
+// totally ordered (busiest first, class name breaking ties), so
+// repeated analyses of one trace render identically.
 func Analyze(recs []runtime.TaskRecord) Summary {
 	var s Summary
-	busy := map[int]time.Duration{}
+	maxW := -1
 	classes := map[string]*ClassStat{}
 	for _, r := range recs {
 		if end := r.Start + r.Duration; end > s.Makespan {
 			s.Makespan = end
 		}
-		busy[r.Worker] += r.Duration
+		if r.Worker > maxW {
+			maxW = r.Worker
+		}
 		c := Class(r.Label)
 		cs := classes[c]
 		if cs == nil {
@@ -63,23 +68,27 @@ func Analyze(recs []runtime.TaskRecord) Summary {
 			cs.Max = r.Duration
 		}
 	}
-	maxW := -1
-	for w := range busy {
-		if w > maxW {
-			maxW = w
-		}
-	}
 	s.Workers = maxW + 1
+	busy := make([]time.Duration, s.Workers)
+	for _, r := range recs {
+		busy[r.Worker] += r.Duration
+	}
 	s.Utilization = make([]float64, s.Workers)
-	for w, b := range busy {
+	for w := 0; w < s.Workers; w++ {
 		if s.Makespan > 0 {
-			s.Utilization[w] = float64(b) / float64(s.Makespan)
+			s.Utilization[w] = float64(busy[w]) / float64(s.Makespan)
 		}
 	}
+	s.Classes = make([]ClassStat, 0, len(classes))
 	for _, cs := range classes {
 		s.Classes = append(s.Classes, *cs)
 	}
-	sort.Slice(s.Classes, func(i, j int) bool { return s.Classes[i].Total > s.Classes[j].Total })
+	sort.Slice(s.Classes, func(i, j int) bool {
+		if s.Classes[i].Total != s.Classes[j].Total {
+			return s.Classes[i].Total > s.Classes[j].Total
+		}
+		return s.Classes[i].Class < s.Classes[j].Class
+	})
 	return s
 }
 

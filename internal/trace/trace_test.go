@@ -105,3 +105,30 @@ func TestEndToEndWithRuntime(t *testing.T) {
 		t.Fatalf("gantt should render")
 	}
 }
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	// Equal-total classes exercise the tie-break: the summary must come
+	// out identical however the internal maps iterate.
+	recs := []runtime.TaskRecord{
+		{Label: "gemm(0,1,0)", Worker: 1, Start: 0, Duration: time.Millisecond},
+		{Label: "syrk(0,1)", Worker: 0, Start: 0, Duration: time.Millisecond},
+		{Label: "trsm(0,1)", Worker: 2, Start: time.Millisecond, Duration: time.Millisecond},
+		{Label: "potrf(0)", Worker: 0, Start: time.Millisecond, Duration: time.Millisecond},
+	}
+	want := Analyze(recs).String()
+	for i := 0; i < 50; i++ {
+		if got := Analyze(recs).String(); got != want {
+			t.Fatalf("nondeterministic summary:\n%s\nvs\n%s", got, want)
+		}
+	}
+	s := Analyze(recs)
+	for i := 1; i < len(s.Classes); i++ {
+		a, b := s.Classes[i-1], s.Classes[i]
+		if a.Total < b.Total || (a.Total == b.Total && a.Class > b.Class) {
+			t.Fatalf("class order violated at %d: %+v", i, s.Classes)
+		}
+	}
+	if s.Workers != 3 || len(s.Utilization) != 3 {
+		t.Fatalf("per-worker rows wrong: %+v", s)
+	}
+}

@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"fmt"
+
+	"tlrchol/internal/runtime"
+)
+
+// CheckGraph statically verifies a runtime.Graph before execution:
+//
+//   - acyclicity (a cycle deadlocks the dependency-counting scheduler:
+//     the tasks on it never become ready);
+//   - no self-dependencies or duplicate edges (a duplicate inflates
+//     the wait count symmetrically, so it is legal — but it usually
+//     means a builder registered the same hazard twice);
+//   - no isolated tasks in an otherwise connected graph (a task with
+//     no predecessors and no successors in a graph that has edges is
+//     usually a dependency the builder forgot);
+//   - hazard completeness: replaying every task's declared accesses in
+//     insertion order (the sequential semantics), each RAW, WAR and
+//     WAW pair on a datum must be ordered by a directed path in the
+//     graph. This is the serializability proof: if it holds, every
+//     parallel schedule the runtime can produce computes the same
+//     result as the sequential program. Tasks without declared
+//     accesses (hand-wired graphs that never called DeclareAccesses)
+//     contribute nothing to the replay, so the check is vacuous there.
+//
+// The graph may be checked before or after Run; only the static
+// structure is inspected.
+func CheckGraph(g *runtime.Graph) Findings {
+	var fs Findings
+	n := g.Tasks()
+	if n == 0 {
+		return fs
+	}
+
+	// Structural sweep: in-degrees, self-loops, duplicate edges.
+	indeg := make([]int, n)
+	dupEdges := 0
+	for i := 0; i < n; i++ {
+		t := g.Task(i)
+		seen := make(map[int]bool, len(t.Successors()))
+		for _, s := range t.Successors() {
+			if s.ID() == i {
+				fs.add("graph", Error, "task %q depends on itself", t.Label)
+				continue
+			}
+			if seen[s.ID()] {
+				dupEdges++
+				if dupEdges <= 3 {
+					fs.add("graph", Warning, "duplicate edge %q -> %q", t.Label, s.Label)
+				}
+				continue
+			}
+			seen[s.ID()] = true
+			indeg[s.ID()]++
+		}
+	}
+	if dupEdges > 3 {
+		fs.add("graph", Warning, "%d duplicate edges total", dupEdges)
+	}
+
+	// Kahn topological sort over the deduplicated edges: anything left
+	// unprocessed sits on (or downstream of) a cycle.
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	deg := make([]int, n)
+	copy(deg, indeg)
+	for i := 0; i < n; i++ {
+		if deg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		seen := make(map[int]bool)
+		for _, s := range g.Task(id).Successors() {
+			if s.ID() == id || seen[s.ID()] {
+				continue
+			}
+			seen[s.ID()] = true
+			if deg[s.ID()]--; deg[s.ID()] == 0 {
+				queue = append(queue, s.ID())
+			}
+		}
+	}
+	if len(order) < n {
+		stuck := make([]string, 0, 4)
+		for i := 0; i < n && len(stuck) < 4; i++ {
+			if deg[i] > 0 {
+				stuck = append(stuck, fmt.Sprintf("%q", g.Task(i).Label))
+			}
+		}
+		fs.add("graph", Error, "cycle: %d task(s) can never become ready (e.g. %v)",
+			n-len(order), stuck)
+		return fs // reachability below needs a topological order
+	}
+
+	// Isolated tasks are only suspicious when the graph has edges at
+	// all: a pure fan-out graph (e.g. tile-by-tile compression) is all
+	// roots by design.
+	if g.Edges() > 0 {
+		isolated := 0
+		example := ""
+		for i := 0; i < n; i++ {
+			if indeg[i] == 0 && len(g.Task(i).Successors()) == 0 {
+				if isolated == 0 {
+					example = g.Task(i).Label
+				}
+				isolated++
+			}
+		}
+		if isolated > 0 {
+			fs.add("graph", Warning,
+				"%d isolated task(s) in a graph with %d edges (e.g. %q)",
+				isolated, g.Edges(), example)
+		}
+	}
+
+	fs = append(fs, checkHazards(g, order)...)
+	return fs
+}
+
+// checkHazards replays declared accesses in task-insertion order and
+// verifies every implied hazard pair is ordered by a path in the graph.
+// order must be a topological order of all task IDs.
+func checkHazards(g *runtime.Graph, order []int) Findings {
+	var fs Findings
+	n := g.Tasks()
+	declared := false
+	for i := 0; i < n && !declared; i++ {
+		declared = len(g.Task(i).Accesses()) > 0
+	}
+	if !declared {
+		return fs
+	}
+
+	// desc[i] holds the set of tasks reachable from i (excluding i),
+	// as a bitset, computed in reverse topological order.
+	words := (n + 63) / 64
+	desc := make([][]uint64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		set := make([]uint64, words)
+		for _, s := range g.Task(id).Successors() {
+			if s.ID() == id {
+				continue
+			}
+			set[s.ID()/64] |= 1 << (uint(s.ID()) % 64)
+			for w, v := range desc[s.ID()] {
+				set[w] |= v
+			}
+		}
+		desc[id] = set
+	}
+	reaches := func(from, to int) bool {
+		return desc[from][to/64]&(1<<(uint(to)%64)) != 0
+	}
+
+	type state struct {
+		lastWrite  *runtime.Task
+		readsSince []*runtime.Task
+	}
+	data := map[interface{}]*state{}
+	hazards := 0
+	require := func(kind string, datum interface{}, pred, succ *runtime.Task) {
+		if pred == nil || pred == succ || reaches(pred.ID(), succ.ID()) {
+			return
+		}
+		hazards++
+		if hazards <= 5 {
+			fs.add("graph", Error, "missing %s ordering on %v: no path %q -> %q",
+				kind, datum, pred.Label, succ.Label)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := g.Task(i)
+		for _, a := range t.Accesses() {
+			st := data[a.Data]
+			if st == nil {
+				st = &state{}
+				data[a.Data] = st
+			}
+			switch a.Mode {
+			case runtime.Read:
+				require("RAW", a.Data, st.lastWrite, t)
+				st.readsSince = append(st.readsSince, t)
+			case runtime.Write:
+				require("WAW", a.Data, st.lastWrite, t)
+				for _, r := range st.readsSince {
+					require("WAR", a.Data, r, t)
+				}
+				st.lastWrite = t
+				st.readsSince = st.readsSince[:0]
+			}
+		}
+	}
+	if hazards > 5 {
+		fs.add("graph", Error, "%d missing hazard orderings total", hazards)
+	}
+	return fs
+}

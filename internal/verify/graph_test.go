@@ -1,0 +1,175 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"tlrchol/internal/runtime"
+)
+
+func errorsContaining(fs Findings, substr string) int {
+	n := 0
+	for _, f := range fs.Errors() {
+		if strings.Contains(f.Msg, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGraphCleanDTD(t *testing.T) {
+	in := runtime.NewInserter()
+	in.Insert("w", 0, nil, runtime.W("x"))
+	in.Insert("r1", 0, nil, runtime.R("x"))
+	in.Insert("r2", 0, nil, runtime.R("x"))
+	in.Insert("w2", 0, nil, runtime.W("x"))
+	fs := CheckGraph(in.Graph())
+	if err := fs.Err(); err != nil {
+		t.Fatalf("clean DTD graph rejected: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("unexpected warnings: %v", fs)
+	}
+}
+
+func TestGraphInjectedCycle(t *testing.T) {
+	g := runtime.NewGraph()
+	a := g.NewTask("a", 0, nil)
+	b := g.NewTask("b", 0, nil)
+	c := g.NewTask("c", 0, nil)
+	g.AddDep(a, b)
+	g.AddDep(b, c)
+	g.AddDep(c, a) // the injected fault
+	fs := CheckGraph(g)
+	if errorsContaining(fs, "cycle") == 0 {
+		t.Fatalf("cycle not detected: %v", fs)
+	}
+}
+
+func TestGraphSelfDependency(t *testing.T) {
+	g := runtime.NewGraph()
+	a := g.NewTask("a", 0, nil)
+	g.AddDep(a, a)
+	fs := CheckGraph(g)
+	if errorsContaining(fs, "depends on itself") == 0 {
+		t.Fatalf("self-dependency not detected: %v", fs)
+	}
+}
+
+func TestGraphDroppedRAWEdge(t *testing.T) {
+	// A hand-wired producer/consumer graph that "forgot" the RAW edge:
+	// the accesses say consume reads what produce writes, the edges say
+	// nothing — the verifier must catch the hole.
+	g := runtime.NewGraph()
+	w := g.NewTask("produce", 0, nil)
+	w.DeclareAccesses(runtime.W("x"))
+	r := g.NewTask("consume", 0, nil)
+	r.DeclareAccesses(runtime.R("x"))
+	fs := CheckGraph(g)
+	if errorsContaining(fs, "missing RAW") == 0 {
+		t.Fatalf("dropped RAW edge not detected: %v", fs)
+	}
+
+	// Adding the edge back heals the graph.
+	g2 := runtime.NewGraph()
+	w2 := g2.NewTask("produce", 0, nil)
+	w2.DeclareAccesses(runtime.W("x"))
+	r2 := g2.NewTask("consume", 0, nil)
+	r2.DeclareAccesses(runtime.R("x"))
+	g2.AddDep(w2, r2)
+	if err := CheckGraph(g2).Err(); err != nil {
+		t.Fatalf("healed graph still rejected: %v", err)
+	}
+}
+
+func TestGraphDroppedWARAndWAW(t *testing.T) {
+	// w0 -> r (RAW present) but the later writer w1 is ordered against
+	// neither: both the WAR (r -> w1) and WAW (w0 -> w1) paths are
+	// missing.
+	g := runtime.NewGraph()
+	w0 := g.NewTask("w0", 0, nil)
+	w0.DeclareAccesses(runtime.W("x"))
+	r := g.NewTask("r", 0, nil)
+	r.DeclareAccesses(runtime.R("x"))
+	g.AddDep(w0, r)
+	w1 := g.NewTask("w1", 0, nil)
+	w1.DeclareAccesses(runtime.W("x"))
+	fs := CheckGraph(g)
+	if errorsContaining(fs, "missing WAW") == 0 {
+		t.Fatalf("dropped WAW not detected: %v", fs)
+	}
+	if errorsContaining(fs, "missing WAR") == 0 {
+		t.Fatalf("dropped WAR not detected: %v", fs)
+	}
+}
+
+func TestGraphTransitiveOrderingAccepted(t *testing.T) {
+	// The hazard check demands a path, not a direct edge: w0 -> r -> w1
+	// orders the WAW w0 -> w1 transitively.
+	g := runtime.NewGraph()
+	w0 := g.NewTask("w0", 0, nil)
+	w0.DeclareAccesses(runtime.W("x"))
+	r := g.NewTask("r", 0, nil)
+	r.DeclareAccesses(runtime.R("x"))
+	w1 := g.NewTask("w1", 0, nil)
+	w1.DeclareAccesses(runtime.W("x"))
+	g.AddDep(w0, r)
+	g.AddDep(r, w1)
+	if err := CheckGraph(g).Err(); err != nil {
+		t.Fatalf("transitively ordered graph rejected: %v", err)
+	}
+}
+
+func TestGraphDuplicateEdgeWarning(t *testing.T) {
+	g := runtime.NewGraph()
+	a := g.NewTask("a", 0, nil)
+	b := g.NewTask("b", 0, nil)
+	g.AddDep(a, b)
+	g.AddDep(a, b)
+	fs := CheckGraph(g)
+	if err := fs.Err(); err != nil {
+		t.Fatalf("duplicate edge must not be fatal: %v", err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "duplicate edge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate edge not reported: %v", fs)
+	}
+}
+
+func TestGraphIsolatedTaskWarning(t *testing.T) {
+	g := runtime.NewGraph()
+	a := g.NewTask("a", 0, nil)
+	b := g.NewTask("b", 0, nil)
+	g.NewTask("orphan", 0, nil)
+	g.AddDep(a, b)
+	fs := CheckGraph(g)
+	if err := fs.Err(); err != nil {
+		t.Fatalf("isolated task must not be fatal: %v", err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "isolated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("isolated task not reported: %v", fs)
+	}
+}
+
+func TestGraphEdgelessGraphNotFlagged(t *testing.T) {
+	// A pure fan-out graph (tile-by-tile compression) has no edges and
+	// must not be drowned in isolated-task warnings.
+	g := runtime.NewGraph()
+	for i := 0; i < 5; i++ {
+		g.NewTask("compress", 0, nil)
+	}
+	if fs := CheckGraph(g); len(fs) != 0 {
+		t.Fatalf("edgeless graph flagged: %v", fs)
+	}
+}

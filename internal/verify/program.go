@@ -1,0 +1,126 @@
+package verify
+
+import (
+	"tlrchol/internal/ptg"
+)
+
+// ProgramSpec bounds the execution space of a ptg.Program for
+// verification. NT is the tile-grid extent: every parameter component
+// and every DataRef index must lie in [0, NT). NT <= 0 disables the
+// bound checks (negative indices are still faults).
+type ProgramSpec struct {
+	NT int
+}
+
+// CheckProgram statically verifies a ptg.Program before instantiation:
+//
+//   - every class declares an execution space;
+//   - no out-of-space instances: parameter tuples and data references
+//     within the ProgramSpec bounds (an out-of-range tile index would
+//     address a tile that does not exist — with a trimmed structure,
+//     typically a panic or a silent read of the wrong tile);
+//   - no duplicate instances of a class (the same tuple twice means a
+//     space enumerated an instance twice: its kernel would run twice);
+//   - no reads of data no instance ever writes (a typo'd DataRef reads
+//     uninitialized state and orders against nothing);
+//   - serialized same-class writes are reported as warnings: two
+//     instances of one class writing the same datum are legal — the
+//     space order serializes them (the SYRK accumulation chain does
+//     exactly this) — but worth surfacing, since the serialization is
+//     implicit in enumeration order rather than declared.
+func CheckProgram(pr ptg.Program, spec ProgramSpec) Findings {
+	var fs Findings
+	insts, err := pr.Instances()
+	if err != nil {
+		fs.add("program", Error, "%v", err)
+		return fs
+	}
+
+	inRange := func(i int) bool {
+		return i >= 0 && (spec.NT <= 0 || i < spec.NT)
+	}
+	checkRef := func(label string, r ptg.DataRef, use string) {
+		if !inRange(r.I) || !inRange(r.J) {
+			fs.add("program", Error, "out-of-space %s %s(%d,%d) in instance %s (NT=%d)",
+				use, r.Name, r.I, r.J, label, spec.NT)
+		}
+	}
+
+	type classTuple struct {
+		class string
+		p     ptg.Params
+	}
+	seen := map[classTuple]bool{}
+	written := map[ptg.DataRef][]string{} // datum -> writing classes
+	type read struct {
+		label string
+		ref   ptg.DataRef
+	}
+	var reads []read
+
+	for _, it := range insts {
+		label := it.Label()
+		for _, c := range it.P {
+			if !inRange(c) {
+				fs.add("program", Error, "out-of-space parameter tuple %v in instance %s (NT=%d)",
+					it.P, label, spec.NT)
+				break
+			}
+		}
+		key := classTuple{class: it.Class.Name, p: it.P}
+		if seen[key] {
+			fs.add("program", Error, "duplicate instance %s: tuple enumerated twice by the space", label)
+		}
+		seen[key] = true
+		for _, r := range it.Reads {
+			checkRef(label, r, "read")
+			reads = append(reads, read{label: label, ref: r})
+		}
+		for _, w := range it.Writes {
+			checkRef(label, w, "write")
+			written[w] = append(written[w], it.Class.Name)
+		}
+	}
+
+	// Reads of never-written data: ordered against nothing, they read
+	// whatever state the datum happens to hold.
+	reported := map[ptg.DataRef]bool{}
+	for _, r := range reads {
+		if len(written[r.ref]) == 0 && !reported[r.ref] {
+			reported[r.ref] = true
+			fs.add("program", Error, "instance %s reads %s(%d,%d), which no instance writes",
+				r.label, r.ref.Name, r.ref.I, r.ref.J)
+		}
+	}
+
+	// Same-class write sharing (implicit serialization by space order).
+	type share struct {
+		class string
+		ref   ptg.DataRef
+	}
+	sharedBy := map[share]int{}
+	for ref, classes := range written {
+		counts := map[string]int{}
+		for _, c := range classes {
+			counts[c]++
+		}
+		for c, k := range counts {
+			if k > 1 {
+				sharedBy[share{class: c, ref: ref}] = k
+			}
+		}
+	}
+	// Summarize per class to keep the report small and deterministic.
+	perClass := map[string]int{}
+	for s := range sharedBy {
+		perClass[s.class]++
+	}
+	for ci := range pr.Classes {
+		c := pr.Classes[ci].Name
+		if n := perClass[c]; n > 0 {
+			fs.add("program", Warning,
+				"class %s writes %d datum(s) from multiple instances (serialized by space order)", c, n)
+		}
+	}
+	return fs
+}

@@ -1,0 +1,117 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"tlrchol/internal/ptg"
+)
+
+// prodCons is a minimal well-formed two-class program.
+func prodCons() ptg.Program {
+	return ptg.Program{Classes: []ptg.Class{
+		{
+			Name:   "produce",
+			Space:  func() []ptg.Params { return []ptg.Params{{0, 0, 0}} },
+			Writes: func(p ptg.Params) []ptg.DataRef { return []ptg.DataRef{{Name: "x"}} },
+		},
+		{
+			Name:  "consume",
+			Space: func() []ptg.Params { return []ptg.Params{{0, 0, 0}} },
+			Reads: func(p ptg.Params) []ptg.DataRef { return []ptg.DataRef{{Name: "x"}} },
+		},
+	}}
+}
+
+func TestProgramClean(t *testing.T) {
+	fs := CheckProgram(prodCons(), ProgramSpec{NT: 1})
+	if len(fs) != 0 {
+		t.Fatalf("clean program flagged: %v", fs)
+	}
+}
+
+func TestProgramOutOfSpaceInstance(t *testing.T) {
+	nt := 4
+	pr := ptg.Program{Classes: []ptg.Class{{
+		Name: "potrf",
+		Space: func() []ptg.Params {
+			// The injected fault: one tuple beyond the tile grid.
+			return []ptg.Params{{0, 0, 0}, {nt + 2, 0, 0}}
+		},
+		Writes: func(p ptg.Params) []ptg.DataRef {
+			return []ptg.DataRef{{Name: "A", I: p[0], J: p[0]}}
+		},
+	}}}
+	fs := CheckProgram(pr, ProgramSpec{NT: nt})
+	if errorsContaining(fs, "out-of-space parameter tuple") == 0 {
+		t.Fatalf("out-of-space tuple not detected: %v", fs)
+	}
+	if errorsContaining(fs, "out-of-space write") == 0 {
+		t.Fatalf("out-of-space data reference not detected: %v", fs)
+	}
+}
+
+func TestProgramNegativeIndexAlwaysFault(t *testing.T) {
+	pr := ptg.Program{Classes: []ptg.Class{{
+		Name:   "bad",
+		Space:  func() []ptg.Params { return []ptg.Params{{0, 0, 0}} },
+		Writes: func(p ptg.Params) []ptg.DataRef { return []ptg.DataRef{{Name: "A", I: -1}} },
+	}}}
+	// Even with bounds disabled, negative indices are faults.
+	if fs := CheckProgram(pr, ProgramSpec{}); len(fs.Errors()) == 0 {
+		t.Fatalf("negative index not detected: %v", fs)
+	}
+}
+
+func TestProgramDuplicateInstance(t *testing.T) {
+	pr := ptg.Program{Classes: []ptg.Class{{
+		Name:  "dup",
+		Space: func() []ptg.Params { return []ptg.Params{{1, 0, 0}, {1, 0, 0}} },
+	}}}
+	fs := CheckProgram(pr, ProgramSpec{NT: 2})
+	if errorsContaining(fs, "duplicate instance") == 0 {
+		t.Fatalf("duplicate instance not detected: %v", fs)
+	}
+}
+
+func TestProgramReadOfNeverWrittenData(t *testing.T) {
+	pr := prodCons()
+	pr.Classes[1].Reads = func(p ptg.Params) []ptg.DataRef {
+		return []ptg.DataRef{{Name: "x"}, {Name: "typo"}}
+	}
+	fs := CheckProgram(pr, ProgramSpec{NT: 1})
+	if errorsContaining(fs, "no instance writes") == 0 {
+		t.Fatalf("read of never-written datum not detected: %v", fs)
+	}
+}
+
+func TestProgramMissingSpace(t *testing.T) {
+	pr := ptg.Program{Classes: []ptg.Class{{Name: "bad"}}}
+	if fs := CheckProgram(pr, ProgramSpec{}); len(fs.Errors()) == 0 {
+		t.Fatalf("missing space not detected: %v", fs)
+	}
+}
+
+func TestProgramSharedWriteWarning(t *testing.T) {
+	// Two instances of one class writing the same datum: legal
+	// (serialized by space order, like the SYRK accumulation chain) but
+	// reported.
+	pr := ptg.Program{Classes: []ptg.Class{{
+		Name:   "acc",
+		Space:  func() []ptg.Params { return []ptg.Params{{0, 0, 0}, {1, 0, 0}} },
+		Writes: func(p ptg.Params) []ptg.DataRef { return []ptg.DataRef{{Name: "sum"}} },
+	}}}
+	fs := CheckProgram(pr, ProgramSpec{NT: 2})
+	if err := fs.Err(); err != nil {
+		t.Fatalf("serialized shared write must not be fatal: %v", err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Severity == Warning && strings.Contains(f.Msg, "multiple instances") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shared write not reported: %v", fs)
+	}
+}

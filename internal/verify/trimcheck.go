@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"fmt"
+
+	"tlrchol/internal/trim"
+)
+
+// oracle is an independently recomputed symbolic factorization: the
+// set-based fixed point of tile Cholesky fill-in, deliberately written
+// as a different algorithm from the list-replay of trim.Analyze
+// (Algorithm 1) so the two can cross-check each other.
+type oracle struct {
+	nt int
+	nz []bool // nz[n*nt+m]: tile (m,n), m > n, structurally non-zero in the factor
+}
+
+func symbolic(rank trim.RankArray) *oracle {
+	nt := rank.NT()
+	o := &oracle{nt: nt, nz: make([]bool, nt*nt)}
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			o.nz[n*nt+m] = rank.Rank(m, n) > 0
+		}
+	}
+	// Left-to-right panel sweep: two non-zeros in column k at rows
+	// n < m produce the GEMM update that fills tile (m,n). Fill into
+	// column k only originates from panels < k, so by the time panel k
+	// is swept its column is final — no fixed-point iteration needed.
+	for k := 0; k < nt-1; k++ {
+		for m := k + 1; m < nt; m++ {
+			if !o.nz[k*nt+m] {
+				continue
+			}
+			for n := k + 1; n < m; n++ {
+				if o.nz[k*nt+n] {
+					o.nz[n*nt+m] = true
+				}
+			}
+		}
+	}
+	return o
+}
+
+func (o *oracle) nonZero(m, n int) bool { return o.nz[n*o.nt+m] }
+
+// gemmPanels returns the panels k < n whose column holds both rows m
+// and n — exactly the GEMM updates tile (m,n) must receive.
+func (o *oracle) gemmPanels(m, n int) []int {
+	var ks []int
+	for k := 0; k < n; k++ {
+		if o.nz[k*o.nt+m] && o.nz[k*o.nt+n] {
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+// CheckTrim proves a trim.Structure sound against the rank array it
+// was (purportedly) derived from: the structure's task lists must
+// equal, exactly, the task set of the oracle symbolic factorization.
+//
+//   - a task the oracle requires but the structure lacks is an
+//     over-trim: the runtime never schedules it and the factor is
+//     silently wrong;
+//   - a task the structure lists but the oracle rejects is a spurious
+//     task (under-trim): it operates on a structurally-zero tile,
+//     wasting exactly the work trimming exists to remove — and, for
+//     GEMM, potentially instantiating a tile that should stay null;
+//   - list entries must be strictly ascending, the invariant the
+//     lookahead-free runtime unrolling relies on.
+//
+// trim.Analysis over any rank array and trim.Full over a fully dense
+// rank array both pass; trim.Full over a sparse array reports the
+// spurious tasks — which is precisely the work DAG trimming saves.
+//
+// The structure must materialize its GEMM lists (shared-memory
+// analyses built with trim.AllLocal do; distributed ones only carry
+// counts for remote tiles and cannot be fully checked here).
+func CheckTrim(s trim.Structure, rank trim.RankArray) Findings {
+	var fs Findings
+	if s.NT() != rank.NT() {
+		fs.add("trim", Error, "structure NT=%d does not match rank array NT=%d", s.NT(), rank.NT())
+		return fs
+	}
+	o := symbolic(rank)
+	nt := o.nt
+
+	compare := func(what string, got, want []int) {
+		gotSet := map[int]bool{}
+		for i, v := range got {
+			gotSet[v] = true
+			if i > 0 && got[i-1] >= v {
+				fs.add("trim", Error, "%s list not strictly ascending: %v", what, got)
+				break
+			}
+		}
+		for _, v := range want {
+			if !gotSet[v] {
+				fs.add("trim", Error, "over-trim: %s is missing required entry %d (have %v)", what, v, got)
+			}
+		}
+		wantSet := map[int]bool{}
+		for _, v := range want {
+			wantSet[v] = true
+		}
+		for _, v := range got {
+			if !wantSet[v] {
+				fs.add("trim", Error, "spurious (under-trim): %s lists entry %d the oracle rejects", what, v)
+			}
+		}
+	}
+	list := func(n int, at func(int) int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = at(i)
+		}
+		return out
+	}
+
+	for k := 0; k < nt; k++ {
+		var want []int
+		for m := k + 1; m < nt; m++ {
+			if o.nonZero(m, k) {
+				want = append(want, m)
+			}
+		}
+		compare(fmt.Sprintf("trsm[k=%d]", k), list(s.NbTrsm(k), func(i int) int { return s.TrsmAt(k, i) }), want)
+	}
+	for m := 1; m < nt; m++ {
+		var want []int
+		for k := 0; k < m; k++ {
+			if o.nonZero(m, k) {
+				want = append(want, k)
+			}
+		}
+		compare(fmt.Sprintf("syrk[m=%d]", m), list(s.NbSyrk(m), func(i int) int { return s.SyrkAt(m, i) }), want)
+	}
+	for m := 1; m < nt; m++ {
+		for n := 0; n < m; n++ {
+			want := o.gemmPanels(m, n)
+			compare(fmt.Sprintf("gemm[m=%d,n=%d]", m, n),
+				list(s.NbGemm(m, n), func(i int) int { return s.GemmAt(m, n, i) }), want)
+			if got, wantNZ := s.NonZero(m, n), o.nonZero(m, n); got != wantNZ {
+				if wantNZ {
+					fs.add("trim", Error,
+						"over-trim: tile (%d,%d) is structurally non-zero (fill-in) but marked zero", m, n)
+				} else {
+					fs.add("trim", Error,
+						"spurious (under-trim): tile (%d,%d) marked non-zero but is structurally null", m, n)
+				}
+			}
+		}
+	}
+	return fs
+}

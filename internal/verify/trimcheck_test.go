@@ -1,0 +1,121 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/trim"
+)
+
+func randomRanks(rng *rand.Rand, nt int, density float64) trim.Ranks {
+	r := trim.Ranks{N: nt, R: make([][]int, nt)}
+	for m := range r.R {
+		r.R[m] = make([]int, m)
+		for n := 0; n < m; n++ {
+			if rng.Float64() < density {
+				r.R[m][n] = 1 + rng.Intn(8)
+			}
+		}
+	}
+	return r
+}
+
+func denseRanks(nt int) trim.Ranks {
+	r := trim.Ranks{N: nt, R: make([][]int, nt)}
+	for m := range r.R {
+		r.R[m] = make([]int, m)
+		for n := 0; n < m; n++ {
+			r.R[m][n] = 4
+		}
+	}
+	return r
+}
+
+// TestTrimAnalysisSoundOnRandomPatterns is the heart of the trim pass:
+// across many random sparsity patterns, Algorithm 1's list-replay must
+// agree exactly with the independently computed set-based oracle.
+func TestTrimAnalysisSoundOnRandomPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		nt := 1 + rng.Intn(14)
+		density := rng.Float64()
+		r := randomRanks(rng, nt, density)
+		a := trim.Analyze(r, trim.AllLocal)
+		if err := CheckTrim(a, r).Err(); err != nil {
+			t.Fatalf("trial %d (nt=%d density=%.2f): %v", trial, nt, density, err)
+		}
+	}
+}
+
+func TestTrimFullSoundOnDense(t *testing.T) {
+	for _, nt := range []int{1, 2, 5, 9} {
+		r := denseRanks(nt)
+		if err := CheckTrim(trim.Full{Nt: nt}, r).Err(); err != nil {
+			t.Fatalf("nt=%d: untrimmed structure unsound on dense ranks: %v", nt, err)
+		}
+		// And the trimmed analysis of a dense matrix equals the full DAG.
+		if err := CheckTrim(trim.Analyze(r, trim.AllLocal), r).Err(); err != nil {
+			t.Fatalf("nt=%d: analysis of dense ranks unsound: %v", nt, err)
+		}
+	}
+}
+
+func TestTrimFullOnSparseReportsSpuriousTasks(t *testing.T) {
+	// The untrimmed DAG over a sparse pattern carries exactly the
+	// spurious work trimming removes — the checker must see it.
+	rng := rand.New(rand.NewSource(3))
+	r := randomRanks(rng, 10, 0.3)
+	fs := CheckTrim(trim.Full{Nt: 10}, r)
+	if errorsContaining(fs, "spurious") == 0 {
+		t.Fatalf("untrimmed DAG over sparse ranks reported no spurious tasks: %v", fs)
+	}
+	if errorsContaining(fs, "over-trim") != 0 {
+		t.Fatalf("the full DAG can never be over-trimmed: %v", fs)
+	}
+}
+
+// overTrimmed drops the last TRSM of one panel and the corresponding
+// structural facts — the injected fault for the soundness test.
+type overTrimmed struct {
+	trim.Structure
+	k int // panel whose last TRSM is dropped
+}
+
+func (o overTrimmed) NbTrsm(k int) int {
+	n := o.Structure.NbTrsm(k)
+	if k == o.k && n > 0 {
+		return n - 1
+	}
+	return n
+}
+
+func (o overTrimmed) droppedRow() (int, bool) {
+	n := o.Structure.NbTrsm(o.k)
+	if n == 0 {
+		return 0, false
+	}
+	return o.Structure.TrsmAt(o.k, n-1), true
+}
+
+func (o overTrimmed) NonZero(m, n int) bool {
+	if d, ok := o.droppedRow(); ok && n == o.k && m == d {
+		return false
+	}
+	return o.Structure.NonZero(m, n)
+}
+
+func TestTrimOverTrimDetected(t *testing.T) {
+	r := denseRanks(8)
+	a := trim.Analyze(r, trim.AllLocal)
+	fs := CheckTrim(overTrimmed{Structure: a, k: 2}, r)
+	if errorsContaining(fs, "over-trim") == 0 {
+		t.Fatalf("over-trimmed structure not detected: %v", fs)
+	}
+}
+
+func TestTrimNTMismatch(t *testing.T) {
+	r := denseRanks(4)
+	if fs := CheckTrim(trim.Full{Nt: 5}, r); len(fs.Errors()) == 0 {
+		t.Fatalf("NT mismatch not detected")
+	}
+}

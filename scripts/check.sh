@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# check.sh — the repo's single verification gate: build, vet, the
+# concurrency lint (cmd/lint), race-detector tests on the concurrency-
+# critical packages (the task runtime, the PTG front end and the static
+# verifier's own suite), then the full test suite, which includes the
+# verifier self-checks in internal/verify.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== concurrency lint (cmd/lint)"
+go run ./cmd/lint ./...
+
+echo "== race-detector tests (runtime, ptg, verify)"
+go test -race ./internal/runtime ./internal/ptg ./internal/verify
+
+echo "== full test suite"
+go test ./...
+
+echo "check.sh: all gates passed"
