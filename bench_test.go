@@ -167,7 +167,9 @@ type modelRankArray struct{ m ranks.Model }
 func (r modelRankArray) NT() int           { return r.m.NTiles }
 func (r modelRankArray) Rank(m, n int) int { return r.m.Rank(m, n) }
 
-// Kernel-level benchmarks: the real numerical workhorses.
+// Kernel-level benchmarks: the real numerical workhorses. These are the
+// benchmarks scripts/bench.sh snapshots into BENCH_<stamp>.json; keep the
+// names stable so cmd/benchreport can compare across snapshots.
 
 func benchTiles(b *testing.B, size, rank int) (*tlr.Tile, *tlr.Tile, *tlr.Tile) {
 	rng := rand.New(rand.NewSource(1))
@@ -179,6 +181,7 @@ func benchTiles(b *testing.B, size, rank int) (*tlr.Tile, *tlr.Tile, *tlr.Tile) 
 
 func BenchmarkHCoreGemmLR(b *testing.B) {
 	a, bt, c0 := benchTiles(b, 256, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := c0.Clone()
@@ -186,10 +189,24 @@ func BenchmarkHCoreGemmLR(b *testing.B) {
 	}
 }
 
+// BenchmarkHCoreGemmSteady measures the steady-state Schur-update path:
+// the output tile is recycled run over run, exactly as the factorization
+// inner loop does, so allocs/op reflects the warm-workspace regime.
+func BenchmarkHCoreGemmSteady(b *testing.B) {
+	a, bt, c0 := benchTiles(b, 256, 16)
+	c := c0.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c = tlr.Gemm(a, bt, c, tlr.GemmConfig{Tol: 1e-8})
+	}
+}
+
 func BenchmarkHCoreSyrk(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	a, _, _ := benchTiles(b, 256, 16)
 	c := dense.RandomSPD(rng, 256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tlr.Syrk(a, c)
@@ -199,15 +216,31 @@ func BenchmarkHCoreSyrk(b *testing.B) {
 func BenchmarkCompressTile(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	a := dense.RandomLowRank(rng, 256, 256, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tlr.Compress(a, 1e-8, 0)
 	}
 }
 
+func BenchmarkRecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	u := dense.Random(rng, 256, 32)
+	v := dense.Random(rng, 256, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlr.Recompress(u, v, 1e-8, 0)
+	}
+}
+
+// BenchmarkFactorizeRBF is the end-to-end Fig04-scale factorization:
+// N=1024 points, tile size 128, trimming on — the wall-clock headline
+// the perf-regression harness tracks.
 func BenchmarkFactorizeRBF(b *testing.B) {
 	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(1024))[:1024]
 	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts), Nugget: 1e-4})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -216,5 +249,107 @@ func BenchmarkFactorizeRBF(b *testing.B) {
 		if _, err := core.Factorize(m, core.Options{Tol: 1e-6, Trim: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Dense BLAS-3 / LAPACK kernel benchmarks with GFlop/s reporting.
+
+func benchGemmSize(b *testing.B, n int, tA, tB dense.TransFlag) {
+	rng := rand.New(rand.NewSource(5))
+	a := dense.Random(rng, n, n)
+	bm := dense.Random(rng, n, n)
+	c := dense.NewMatrix(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Gemm(tA, tB, 1, a, bm, 0, c)
+	}
+	gflops := 2 * float64(n) * float64(n) * float64(n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "gflops")
+}
+
+func BenchmarkDenseGemm64(b *testing.B)    { benchGemmSize(b, 64, dense.NoTrans, dense.NoTrans) }
+func BenchmarkDenseGemm256(b *testing.B)   { benchGemmSize(b, 256, dense.NoTrans, dense.NoTrans) }
+func BenchmarkDenseGemmNT256(b *testing.B) { benchGemmSize(b, 256, dense.NoTrans, dense.Trans) }
+func BenchmarkDenseGemmTN256(b *testing.B) { benchGemmSize(b, 256, dense.Trans, dense.NoTrans) }
+func BenchmarkDenseGemmTT256(b *testing.B) { benchGemmSize(b, 256, dense.Trans, dense.Trans) }
+
+func BenchmarkDenseSyrk256(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	n := 256
+	a := dense.Random(rng, n, n)
+	c := dense.NewMatrix(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Syrk(dense.NoTrans, -1, a, 1, c)
+	}
+	gflops := float64(n) * float64(n+1) * float64(n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "gflops")
+}
+
+// BenchmarkDenseTrsm256 exercises the TLR hot combo: panel solve
+// A·L⁻ᵀ with the diagonal Cholesky factor (Right/Lower/Trans).
+func BenchmarkDenseTrsm256(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 256
+	l := dense.RandomSPD(rng, n)
+	if err := dense.Potrf(l); err != nil {
+		b.Fatal(err)
+	}
+	x := dense.Random(rng, n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.NonUnit, 1, l, x)
+	}
+	gflops := float64(n) * float64(n) * float64(n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "gflops")
+}
+
+func BenchmarkDensePotrf512(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n := 512
+	spd := dense.RandomSPD(rng, n)
+	work := dense.NewMatrix(n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(spd)
+		if err := dense.Potrf(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gflops := float64(n) * float64(n) * float64(n) / 3 * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "gflops")
+}
+
+func BenchmarkDenseQR256x32(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := dense.Random(rng, 256, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.QR(a)
+	}
+}
+
+func BenchmarkDenseQRCP256(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a := dense.RandomLowRank(rng, 256, 256, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.QRCP(a, 1e-8, 0)
+	}
+}
+
+func BenchmarkDenseSVD64(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := dense.Random(rng, 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dense.SVD(a)
 	}
 }

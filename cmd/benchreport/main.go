@@ -1,0 +1,224 @@
+// Command benchreport turns `go test -bench` output into a JSON
+// performance snapshot and compares two snapshots for regressions.
+//
+// Snapshot mode (default) reads benchmark output on stdin and writes a
+// BENCH JSON document to stdout:
+//
+//	go test -run='^$' -bench=. | go run ./cmd/benchreport > BENCH_$(date -u +%Y%m%dT%H%M%SZ).json
+//
+// Compare mode takes two snapshots (older first), prints a before/after
+// table and exits non-zero when any tracked metric regresses beyond the
+// threshold (default 25%):
+//
+//	go run ./cmd/benchreport -compare BENCH_old.json BENCH_new.json
+//
+// Tracked metrics: ns/op and allocs/op must not grow, gflops must not
+// shrink, beyond threshold. This is the gate scripts/bench.sh applies to
+// every new snapshot, giving the repo a measured perf trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the persisted BENCH_*.json document.
+type Snapshot struct {
+	Schema     string                  `json:"schema"`
+	Generated  string                  `json:"generated"`
+	GoVersion  string                  `json:"go"`
+	Benchmarks map[string]BenchMetrics `json:"benchmarks"`
+}
+
+// BenchMetrics holds the per-benchmark measurements we track.
+type BenchMetrics struct {
+	Iters    int64    `json:"iters"`
+	NsPerOp  float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	BytesOp  *float64 `json:"b_op,omitempty"`
+	GFlops   *float64 `json:"gflops,omitempty"`
+	// Extra carries any other custom `b.ReportMetric` outputs.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	compare := flag.String("compare", "", "old snapshot to compare against (requires a second positional arg: the new snapshot)")
+	threshold := flag.Float64("threshold", 0.25, "relative regression threshold for -compare")
+	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchreport -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runCompare(*compare, flag.Arg(0), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench reads `go test -bench` text output. Benchmark result lines
+// look like:
+//
+//	BenchmarkDenseGemm256-4   100  11873968 ns/op  2.826 gflops  3 allocs/op
+func parseBench(r *os.File) (*Snapshot, error) {
+	snap := &Snapshot{
+		Schema:     "tlrchol-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]BenchMetrics{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		// Strip the GOMAXPROCS suffix (-1, -4, ...).
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		m := BenchMetrics{Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = val
+			case "allocs/op":
+				v := val
+				m.AllocsOp = &v
+			case "B/op":
+				v := val
+				m.BytesOp = &v
+			case "gflops":
+				v := val
+				m.GFlops = &v
+			default:
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[unit] = val
+			}
+		}
+		if m.NsPerOp > 0 {
+			snap.Benchmarks[name] = m
+		}
+	}
+	return snap, sc.Err()
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+type regression struct {
+	bench, metric string
+	old, new      float64
+}
+
+// runCompare prints the before/after table and fails on regressions.
+func runCompare(oldPath, newPath string, threshold float64) error {
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newS.Benchmarks))
+	for name := range newS.Benchmarks {
+		if _, ok := oldS.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	var regs []regression
+	fmt.Printf("%-24s %14s %14s %8s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	for _, name := range names {
+		o, n := oldS.Benchmarks[name], newS.Benchmarks[name]
+		speedup := o.NsPerOp / n.NsPerOp
+		oa, na := "-", "-"
+		if o.AllocsOp != nil {
+			oa = strconv.FormatFloat(*o.AllocsOp, 'f', 0, 64)
+		}
+		if n.AllocsOp != nil {
+			na = strconv.FormatFloat(*n.AllocsOp, 'f', 0, 64)
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %7.2fx %10s %10s\n",
+			name, o.NsPerOp, n.NsPerOp, speedup, oa, na)
+		if n.NsPerOp > o.NsPerOp*(1+threshold) {
+			regs = append(regs, regression{name, "ns/op", o.NsPerOp, n.NsPerOp})
+		}
+		if o.AllocsOp != nil && n.AllocsOp != nil && *n.AllocsOp > *o.AllocsOp*(1+threshold)+0.5 {
+			regs = append(regs, regression{name, "allocs/op", *o.AllocsOp, *n.AllocsOp})
+		}
+		if o.GFlops != nil && n.GFlops != nil && *n.GFlops < *o.GFlops*(1-threshold) {
+			regs = append(regs, regression{name, "gflops", *o.GFlops, *n.GFlops})
+		}
+	}
+	if len(regs) > 0 {
+		fmt.Println()
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s %s: %.3g -> %.3g (threshold %.0f%%)\n",
+				r.bench, r.metric, r.old, r.new, threshold*100)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(regs), threshold*100)
+	}
+	fmt.Printf("\nno regressions beyond %.0f%% across %d benchmarks\n", threshold*100, len(names))
+	return nil
+}

@@ -50,11 +50,18 @@ func Approximate(entry Entry, rows, cols int, tol float64, maxRank int) (*tlr.Ti
 		st.Evaluations++
 		return entry(i, j)
 	}
+	// All transient storage — the rank-one crosses, pivot bookkeeping and
+	// the factor matrices fed to recompression — comes from a workspace
+	// arena, so repeated tile generation is allocation-free in steady
+	// state (only the returned tile owns memory).
+	ws := dense.GetWorkspace()
+	defer ws.Release()
 	// The cross-norm stopping test is heuristic (it sees one row and one
 	// column of the residual); run it with a safety factor and let the
 	// final recompression trim the basis back to the requested accuracy.
 	innerTol := tol / 16
-	var us, vs [][]float64 // rank-one factors: A ≈ Σ u_l·v_lᵀ
+	us := make([][]float64, 0, kmax) // rank-one factors: A ≈ Σ u_l·v_lᵀ
+	vs := make([][]float64, 0, kmax)
 	usedRow := make([]bool, rows)
 	// Running estimate of ‖A_k‖_F² via the standard ACA recurrence.
 	var normEst2 float64
@@ -63,7 +70,7 @@ func Approximate(entry Entry, rows, cols int, tol float64, maxRank int) (*tlr.Ti
 	for k := 0; len(us) < kmax && attempts < 4*kmax+8; k++ {
 		attempts++
 		// Residual row i*: r = A(i*,·) − Σ u_l(i*)·v_l.
-		row := make([]float64, cols)
+		row := ws.Floats(cols)
 		for j := 0; j < cols; j++ {
 			row[j] = eval(iStar, j)
 		}
@@ -99,7 +106,7 @@ func Approximate(entry Entry, rows, cols int, tol float64, maxRank int) (*tlr.Ti
 			row[j] *= inv
 		}
 		// Residual column j*: c = A(·,j*) − Σ v_l(j*)·u_l.
-		col := make([]float64, rows)
+		col := ws.Floats(rows)
 		for i := 0; i < rows; i++ {
 			col[i] = eval(i, jStar)
 		}
@@ -151,8 +158,8 @@ func Approximate(entry Entry, rows, cols int, tol float64, maxRank int) (*tlr.Ti
 	if len(us) == 0 {
 		return tlr.NewZero(rows, cols), st
 	}
-	u := dense.NewMatrix(rows, len(us))
-	v := dense.NewMatrix(cols, len(vs))
+	u := ws.Matrix(rows, len(us))
+	v := ws.Matrix(cols, len(vs))
 	for l := range us {
 		for i := 0; i < rows; i++ {
 			u.Set(i, l, us[l][i])
@@ -162,7 +169,7 @@ func Approximate(entry Entry, rows, cols int, tol float64, maxRank int) (*tlr.Ti
 		}
 	}
 	// Round the ACA basis to minimal rank at the threshold.
-	t := tlr.Recompress(u, v, tol, maxRank)
+	t := tlr.RecompressWS(u, v, tol, maxRank, ws)
 	st.Rank = t.Rank()
 	return t, st
 }

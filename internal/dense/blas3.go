@@ -51,8 +51,15 @@ func opDims(t TransFlag, m *Matrix) (r, c int) {
 }
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C, the general matrix-matrix
-// product (BLAS dgemm). The inner loops are arranged in i-k-j order so the
-// innermost traversal is contiguous in both B and C.
+// product (BLAS dgemm). Large products run through the cache-blocked
+// packed micro-kernel (see kernel.go); tiny ones use direct loops, since
+// packing overhead would dominate.
+//
+// IEEE semantics match reference dgemm: every product term is formed, so
+// NaN and Inf in A or B propagate into C even when the partner entry is
+// zero (0·Inf = NaN). The only shortcuts are the BLAS-sanctioned ones:
+// alpha == 0 reduces to C = beta·C without reading A or B, and beta == 0
+// overwrites C without reading it (clearing any NaN already there).
 func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix) {
 	ar, ac := opDims(tA, a)
 	br, bc := opDims(tB, b)
@@ -69,6 +76,20 @@ func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix
 	if alpha == 0 || ac == 0 {
 		return
 	}
+	if ar*bc*ac >= gemmMinFlops {
+		gemmPacked(tA, tB, alpha, a, b, c)
+		return
+	}
+	gemmSmall(tA, tB, alpha, a, b, c)
+}
+
+// gemmSmall accumulates C += alpha·op(A)·op(B) with direct loops,
+// arranged so the innermost traversal is contiguous where possible. It
+// serves matrices too small to amortize packing (e.g. the k×k core
+// products of TLR recompression).
+func gemmSmall(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
+	ar, ac := opDims(tA, a)
+	_, bc := opDims(tB, b)
 	switch {
 	case tA == NoTrans && tB == NoTrans:
 		for i := 0; i < ar; i++ {
@@ -76,9 +97,6 @@ func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix
 			ai := a.Row(i)
 			for k := 0; k < ac; k++ {
 				t := alpha * ai[k]
-				if t == 0 {
-					continue
-				}
 				bk := b.Data[k*b.Stride : k*b.Stride+bc]
 				for j, bv := range bk {
 					ci[j] += t * bv
@@ -104,9 +122,6 @@ func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix
 			bk := b.Data[k*b.Stride : k*b.Stride+bc]
 			for i := 0; i < ar; i++ {
 				t := alpha * akRow[i]
-				if t == 0 {
-					continue
-				}
 				ci := c.Data[i*c.Stride : i*c.Stride+bc]
 				for j, bv := range bk {
 					ci[j] += t * bv
@@ -128,15 +143,57 @@ func Gemm(tA, tB TransFlag, alpha float64, a, b *Matrix, beta float64, c *Matrix
 	}
 }
 
+// syrkBlock is the row-block size of the blocked SYRK and of the
+// triangular GEMM (GemmLowerNT): off-diagonal blocks of this size go
+// through the packed GEMM core, diagonal blocks through direct loops.
+const syrkBlock = 64
+
 // Syrk computes the symmetric rank-k update on the lower triangle of C:
 // C = alpha·op(A)·op(A)ᵀ + beta·C with op(A) = A (tA==NoTrans, n×k) or Aᵀ.
 // Only the lower triangle of C is referenced and updated (BLAS dsyrk,
-// uplo='L').
+// uplo='L'). Large updates are blocked: off-diagonal blocks of the
+// triangle run through the packed GEMM core, diagonal blocks through the
+// direct kernel. As in Gemm, no zero-operand shortcuts are taken, so
+// NaN/Inf propagate exactly as in reference dsyrk; beta == 0 overwrites
+// the lower triangle of C without reading it.
 func Syrk(tA TransFlag, alpha float64, a *Matrix, beta float64, c *Matrix) {
 	n, k := opDims(tA, a)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("dense: Syrk C=%dx%d want %dx%d", c.Rows, c.Cols, n, n))
 	}
+	if n*n*k < 2*gemmMinFlops || n < 2*syrkBlock {
+		syrkSmall(tA, alpha, a, beta, c)
+		return
+	}
+	scaleLower(c, beta)
+	for i0 := 0; i0 < n; i0 += syrkBlock {
+		ib := min(syrkBlock, n-i0)
+		var ai Matrix
+		if tA == NoTrans {
+			ai = a.viewVal(i0, 0, ib, k)
+		} else {
+			ai = a.viewVal(0, i0, k, ib)
+		}
+		for j0 := 0; j0 < i0; j0 += syrkBlock {
+			jb := min(syrkBlock, n-j0)
+			cij := c.viewVal(i0, j0, ib, jb)
+			if tA == NoTrans {
+				aj := a.viewVal(j0, 0, jb, k)
+				gemmPacked(NoTrans, Trans, alpha, &ai, &aj, &cij)
+			} else {
+				aj := a.viewVal(0, j0, k, jb)
+				gemmPacked(Trans, NoTrans, alpha, &ai, &aj, &cij)
+			}
+		}
+		cii := c.viewVal(i0, i0, ib, ib)
+		syrkSmall(tA, alpha, &ai, 1, &cii)
+	}
+}
+
+// syrkSmall is the direct-loop SYRK used for small updates and the
+// diagonal blocks of the blocked path.
+func syrkSmall(tA TransFlag, alpha float64, a *Matrix, beta float64, c *Matrix) {
+	n, k := opDims(tA, a)
 	for i := 0; i < n; i++ {
 		ci := c.Data[i*c.Stride:]
 		for j := 0; j <= i; j++ {
@@ -151,15 +208,93 @@ func Syrk(tA TransFlag, alpha float64, a *Matrix, beta float64, c *Matrix) {
 					s += a.At(kk, i) * a.At(kk, j)
 				}
 			}
-			ci[j] = alpha*s + beta*ci[j]
+			if beta == 0 {
+				ci[j] = alpha * s
+			} else {
+				ci[j] = alpha*s + beta*ci[j]
+			}
 		}
 	}
 }
 
+// scaleLower applies C(lower) = beta·C(lower), with beta == 0 storing
+// zeros without reading (BLAS beta semantics).
+func scaleLower(c *Matrix, beta float64) {
+	if beta == 1 {
+		return
+	}
+	for i := 0; i < c.Rows; i++ {
+		ci := c.Data[i*c.Stride : i*c.Stride+i+1]
+		if beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else {
+			for j := range ci {
+				ci[j] *= beta
+			}
+		}
+	}
+}
+
+// GemmLowerNT accumulates only the lower triangle of C:
+// C(lower) += alpha·A·Bᵀ with A n×k, B n×k, C n×n. This is the
+// triangular half-update at the heart of the TLR SYRK (C −= T·Uᵀ with
+// T = U·(VᵀV) symmetric), computed at half the flops of a full GEMM.
+// Off-diagonal blocks of the triangle run through the packed GEMM core;
+// diagonal blocks use direct loops. The strictly-upper triangle of C is
+// never read or written.
+func GemmLowerNT(alpha float64, a, b, c *Matrix) {
+	n, k := a.Rows, a.Cols
+	if b.Rows != n || b.Cols != k || c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("dense: GemmLowerNT A=%dx%d B=%dx%d C=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if n*n*k < 2*gemmMinFlops || n < 2*syrkBlock {
+		gemmLowerSmall(alpha, a, b, c, 0)
+		return
+	}
+	for i0 := 0; i0 < n; i0 += syrkBlock {
+		ib := min(syrkBlock, n-i0)
+		ai := a.viewVal(i0, 0, ib, k)
+		for j0 := 0; j0 < i0; j0 += syrkBlock {
+			jb := min(syrkBlock, n-j0)
+			bj := b.viewVal(j0, 0, jb, k)
+			cij := c.viewVal(i0, j0, ib, jb)
+			gemmPacked(NoTrans, Trans, alpha, &ai, &bj, &cij)
+		}
+		cii := c.viewVal(i0, i0, ib, ib)
+		gemmLowerSmall(alpha, &ai, b, &cii, i0)
+	}
+}
+
+// gemmLowerSmall accumulates the lower triangle of C += alpha·A·B'ᵀ
+// with direct loops, where B' = b.View(rowOff, 0, c.Rows, k) — the
+// diagonal-block case of GemmLowerNT reuses the full B with an offset.
+func gemmLowerSmall(alpha float64, a, b, c *Matrix, rowOff int) {
+	k := a.Cols
+	for i := 0; i < c.Rows; i++ {
+		ai := a.Row(i)
+		ci := c.Data[i*c.Stride:]
+		for j := 0; j <= i; j++ {
+			bj := b.Row(rowOff + j)
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += ai[kk] * bj[kk]
+			}
+			ci[j] += alpha * s
+		}
+	}
+}
+
+// trsmBlock is the base-case order of the recursive blocked TRSM.
+const trsmBlock = 32
+
 // Trsm solves a triangular system with multiple right-hand sides in
 // place (BLAS dtrsm): op(A)·X = alpha·B for side==Left, or
 // X·op(A) = alpha·B for side==Right, overwriting B with X. A must be
-// square with the referenced triangle given by uplo.
+// square with the referenced triangle given by uplo. Systems larger
+// than the base-case order are split recursively so the off-diagonal
+// update — the bulk of the flops — runs through the packed GEMM core.
 func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Matrix) {
 	if a.Rows != a.Cols {
 		panic("dense: Trsm A not square")
@@ -171,9 +306,79 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 	if alpha != 1 {
 		b.Scale(alpha)
 	}
-	// Effective orientation: solving with a Lower matrix transposed is the
-	// same traversal order as an Upper matrix, and vice versa.
+	trsmRec(side, uplo, tA, diag, a, b)
+}
+
+// trsmRec recursively splits the triangular system: solve one half,
+// eliminate its contribution from the other half with a GEMM, solve the
+// remaining half. The traversal order depends on the effective
+// orientation (a transposed Lower solve walks like an Upper one).
+func trsmRec(side Side, uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix) {
+	n := a.Rows
+	if n <= trsmBlock {
+		trsmUnblocked(side, uplo, tA, diag, a, b)
+		return
+	}
+	n1 := n / 2
+	n2 := n - n1
+	a11 := a.viewVal(0, 0, n1, n1)
+	a21 := a.viewVal(n1, 0, n2, n1)
+	a12 := a.viewVal(0, n1, n1, n2)
+	a22 := a.viewVal(n1, n1, n2, n2)
 	lower := (uplo == Lower) == (tA == NoTrans)
+	if side == Left {
+		b1 := b.viewVal(0, 0, n1, b.Cols)
+		b2 := b.viewVal(n1, 0, n2, b.Cols)
+		if lower {
+			trsmRec(side, uplo, tA, diag, &a11, &b1)
+			if uplo == Lower {
+				Gemm(NoTrans, NoTrans, -1, &a21, &b1, 1, &b2)
+			} else { // Upper/Trans: op(A)₂₁ = A₁₂ᵀ
+				Gemm(Trans, NoTrans, -1, &a12, &b1, 1, &b2)
+			}
+			trsmRec(side, uplo, tA, diag, &a22, &b2)
+		} else {
+			trsmRec(side, uplo, tA, diag, &a22, &b2)
+			if uplo == Upper {
+				Gemm(NoTrans, NoTrans, -1, &a12, &b2, 1, &b1)
+			} else { // Lower/Trans: op(A)₁₂ = A₂₁ᵀ
+				Gemm(Trans, NoTrans, -1, &a21, &b2, 1, &b1)
+			}
+			trsmRec(side, uplo, tA, diag, &a11, &b1)
+		}
+		return
+	}
+	b1 := b.viewVal(0, 0, b.Rows, n1)
+	b2 := b.viewVal(0, n1, b.Rows, n2)
+	if lower {
+		trsmRec(side, uplo, tA, diag, &a22, &b2)
+		if uplo == Lower {
+			Gemm(NoTrans, NoTrans, -1, &b2, &a21, 1, &b1)
+		} else { // Upper/Trans: op(A)₂₁ = A₁₂ᵀ
+			Gemm(NoTrans, Trans, -1, &b2, &a12, 1, &b1)
+		}
+		trsmRec(side, uplo, tA, diag, &a11, &b1)
+	} else {
+		trsmRec(side, uplo, tA, diag, &a11, &b1)
+		if uplo == Upper {
+			Gemm(NoTrans, NoTrans, -1, &b1, &a12, 1, &b2)
+		} else { // Lower/Trans: op(A)₁₂ = A₂₁ᵀ
+			Gemm(NoTrans, Trans, -1, &b1, &a21, 1, &b2)
+		}
+		trsmRec(side, uplo, tA, diag, &a22, &b2)
+	}
+}
+
+// trsmUnblocked is the substitution base case. Its zero-skip guards
+// mirror reference dtrsm exactly: the non-transposed Left solve guards
+// on the solved entry B(K,J) (a zero right-hand side stays exactly zero,
+// skipping even the diagonal division), the transposed Left solve is an
+// unguarded dot form, and the Right solves guard on the triangular
+// multiplier (the IF (A(K,J).NE.ZERO) guards). GEMM-style kernels take
+// no such shortcuts — see Gemm — but triangular solves inherit them from
+// the reference BLAS.
+func trsmUnblocked(side Side, uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix) {
+	n := a.Rows
 	at := func(i, j int) float64 {
 		if tA == NoTrans {
 			return a.At(i, j)
@@ -181,16 +386,48 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 		return a.At(j, i)
 	}
 	if side == Left {
-		// Solve op(A)·X = B, column-block forward/backward substitution
-		// performed row-wise across all RHS at once.
+		if tA == NoTrans {
+			// Scatter substitution with the reference B(K,J) != 0 guard:
+			// divide the solved row, then eliminate it from the pending rows.
+			scatter := func(k, lo, hi int) {
+				bk := b.Row(k)
+				if diag == NonUnit {
+					d := a.At(k, k)
+					for j := range bk {
+						if bk[j] != 0 {
+							bk[j] /= d
+						}
+					}
+				}
+				for i := lo; i < hi; i++ {
+					t := a.At(i, k)
+					bi := b.Row(i)
+					for j := range bi {
+						if v := bk[j]; v != 0 {
+							bi[j] -= t * v
+						}
+					}
+				}
+			}
+			if uplo == Lower {
+				for k := 0; k < n; k++ {
+					scatter(k, k+1, n)
+				}
+			} else {
+				for k := n - 1; k >= 0; k-- {
+					scatter(k, 0, k)
+				}
+			}
+			return
+		}
+		// Transposed solve: the reference uses an unguarded dot form, so no
+		// zero shortcuts are taken here either (NaN/Inf propagate freely).
+		lower := uplo == Upper // op(A) = Aᵀ flips the orientation
 		if lower {
 			for i := 0; i < n; i++ {
 				bi := b.Row(i)
 				for k := 0; k < i; k++ {
 					t := at(i, k)
-					if t == 0 {
-						continue
-					}
 					bk := b.Row(k)
 					for j := range bi {
 						bi[j] -= t * bk[j]
@@ -208,9 +445,6 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 				bi := b.Row(i)
 				for k := i + 1; k < n; k++ {
 					t := at(i, k)
-					if t == 0 {
-						continue
-					}
 					bk := b.Row(k)
 					for j := range bi {
 						bi[j] -= t * bk[j]
@@ -226,7 +460,10 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 		}
 		return
 	}
-	// side == Right: X·op(A) = B. Process columns of X in dependency order.
+	// side == Right: X·op(A) = B. Process columns of X in dependency
+	// order; terms are guarded on the triangular multiplier op(A)(k,j),
+	// matching the reference A-entry guards of the right-side solves.
+	lower := (uplo == Lower) == (tA == NoTrans)
 	if lower {
 		// op(A) lower: x_j depends on x_k for k > j → go j = n-1 … 0.
 		for j := n - 1; j >= 0; j-- {
@@ -234,7 +471,9 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 				bi := b.Row(i)
 				s := bi[j]
 				for k := j + 1; k < n; k++ {
-					s -= bi[k] * at(k, j)
+					if t := at(k, j); t != 0 {
+						s -= bi[k] * t
+					}
 				}
 				if diag == NonUnit {
 					s /= at(j, j)
@@ -248,7 +487,9 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 				bi := b.Row(i)
 				s := bi[j]
 				for k := 0; k < j; k++ {
-					s -= bi[k] * at(k, j)
+					if t := at(k, j); t != 0 {
+						s -= bi[k] * t
+					}
 				}
 				if diag == NonUnit {
 					s /= at(j, j)

@@ -1,0 +1,199 @@
+package dense
+
+import "sync"
+
+// Cache-blocked packed GEMM, following the classic GotoBLAS/BLIS
+// decomposition: the operation C += alpha·op(A)·op(B) is tiled into
+// panels of gemmMC×gemmKC of op(A) and gemmKC×gemmNC of op(B). Each
+// panel is packed into a contiguous, micro-tile-interleaved buffer so
+// that the innermost kernel streams both operands with unit stride and
+// perfect reuse, regardless of the original storage order — which is
+// also how all four transpose combinations are routed through a single
+// core: transposition happens for free during packing.
+//
+// The micro-kernel computes a gemmMR×gemmNR block of C entirely in
+// registers. On amd64 with AVX2+FMA (detected at startup via CPUID,
+// kernel_amd64.s) it is an 8×4 vector kernel of VFMADD231PD; elsewhere
+// a portable 2×4 scalar kernel is used, sized so its 8 accumulators
+// plus operand temporaries fit a 16-entry FP register file without
+// spilling.
+const (
+	// gemmNR is the micro-tile width (one AVX2 vector of float64).
+	gemmNR = 4
+	// gemmMRMax bounds the micro-tile height across kernels; packing
+	// and accumulator storage are sized for it.
+	gemmMRMax = 8
+	// gemmMC×gemmKC is the packed op(A) panel (256 KiB, sized for L2).
+	gemmMC = 128
+	gemmKC = 256
+	// gemmKC×gemmNC is the packed op(B) panel, streamed from L3.
+	gemmNC = 512
+	// gemmMinFlops is the m·n·k product below which packing overhead
+	// outweighs the blocked kernel and the straightforward loops win.
+	gemmMinFlops = 16 * 16 * 16
+)
+
+// gemmMR is the active micro-tile height: 8 when the vector kernel is
+// in use (kernel_amd64.go), 2 for the scalar kernel. Fixed at init and
+// never changed afterwards, so concurrent Gemm calls read it safely.
+// Dispatch is a branch on useArchKernel rather than a function variable
+// so the accumulator passed to the micro-kernel provably does not
+// escape (an indirect call would heap-allocate it on every macro tile).
+var gemmMR = 2
+
+// packBufs is a reusable pair of packing buffers. The sync.Pool keeps
+// steady-state Gemm calls allocation-free.
+type packBufs struct {
+	a []float64 // gemmMC×gemmKC, micro-panels of gemmMR rows
+	b []float64 // gemmKC×gemmNC, micro-panels of gemmNR cols
+}
+
+var packPool = sync.Pool{New: func() any {
+	return &packBufs{
+		a: make([]float64, gemmMC*gemmKC),
+		b: make([]float64, gemmKC*gemmNC),
+	}
+}}
+
+// gemmPacked accumulates C += alpha·op(A)·op(B) (beta already applied
+// by the caller) through the packed micro-kernel.
+func gemmPacked(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
+	m, k := opDims(tA, a)
+	_, n := opDims(tB, b)
+	bufs := packPool.Get().(*packBufs)
+	defer packPool.Put(bufs)
+	for jc := 0; jc < n; jc += gemmNC {
+		nb := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kb := min(gemmKC, k-pc)
+			packB(bufs.b, b, tB, pc, jc, kb, nb)
+			for ic := 0; ic < m; ic += gemmMC {
+				mb := min(gemmMC, m-ic)
+				packA(bufs.a, a, tA, ic, pc, mb, kb)
+				macroKernel(bufs.a, bufs.b, c, ic, jc, mb, nb, kb, alpha)
+			}
+		}
+	}
+}
+
+// packA packs the mb×kb block of op(A) with top-left (i0,p0) into buf,
+// as ceil(mb/gemmMR) micro-panels: panel g holds columns-of-kb values
+// interleaved over gemmMR consecutive rows, zero-padded past row mb so
+// the micro-kernel never needs an edge case.
+func packA(buf []float64, a *Matrix, tA TransFlag, i0, p0, mb, kb int) {
+	mr := gemmMR
+	for ib := 0; ib < mb; ib += mr {
+		rows := min(mr, mb-ib)
+		dst := buf[(ib/mr)*kb*mr:]
+		if tA == NoTrans {
+			for r := 0; r < rows; r++ {
+				src := a.Data[(i0+ib+r)*a.Stride+p0 : (i0+ib+r)*a.Stride+p0+kb]
+				for p, v := range src {
+					dst[p*mr+r] = v
+				}
+			}
+		} else {
+			for p := 0; p < kb; p++ {
+				src := a.Data[(p0+p)*a.Stride+i0+ib:]
+				d := dst[p*mr : p*mr+rows]
+				for r := range d {
+					d[r] = src[r]
+				}
+			}
+		}
+		if rows < mr {
+			for p := 0; p < kb; p++ {
+				for r := rows; r < mr; r++ {
+					dst[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs the kb×nb block of op(B) with top-left (p0,j0) into buf,
+// as ceil(nb/gemmNR) micro-panels of gemmNR interleaved columns,
+// zero-padded past column nb.
+func packB(buf []float64, b *Matrix, tB TransFlag, p0, j0, kb, nb int) {
+	for jb := 0; jb < nb; jb += gemmNR {
+		cols := min(gemmNR, nb-jb)
+		dst := buf[(jb/gemmNR)*kb*gemmNR:]
+		if tB == NoTrans {
+			for p := 0; p < kb; p++ {
+				src := b.Data[(p0+p)*b.Stride+j0+jb:]
+				d := dst[p*gemmNR : p*gemmNR+cols]
+				for c := range d {
+					d[c] = src[c]
+				}
+			}
+		} else {
+			for c := 0; c < cols; c++ {
+				src := b.Data[(j0+jb+c)*b.Stride+p0:]
+				for p := 0; p < kb; p++ {
+					dst[p*gemmNR+c] = src[p]
+				}
+			}
+		}
+		if cols < gemmNR {
+			for p := 0; p < kb; p++ {
+				for c := cols; c < gemmNR; c++ {
+					dst[p*gemmNR+c] = 0
+				}
+			}
+		}
+	}
+}
+
+// macroKernel sweeps the packed panels with the register micro-kernel
+// and scatters each micro-tile into C (top-left (ic,jc)) scaled by
+// alpha. Edge tiles are computed full-size against the zero padding and
+// stored truncated.
+func macroKernel(abuf, bbuf []float64, c *Matrix, ic, jc, mb, nb, kb int, alpha float64) {
+	mr := gemmMR
+	var acc [gemmMRMax * gemmNR]float64
+	for jr := 0; jr < nb; jr += gemmNR {
+		bp := bbuf[(jr/gemmNR)*kb*gemmNR:]
+		for ir := 0; ir < mb; ir += mr {
+			ap := abuf[(ir/mr)*kb*mr:]
+			if useArchKernel {
+				microKernelArch(kb, ap, bp, &acc)
+			} else {
+				microKernelGeneric(kb, ap, bp, &acc)
+			}
+			rows := min(mr, mb-ir)
+			cols := min(gemmNR, nb-jr)
+			for r := 0; r < rows; r++ {
+				crow := c.Data[(ic+ir+r)*c.Stride+jc+jr:]
+				av := acc[r*gemmNR : r*gemmNR+cols]
+				for cc, v := range av {
+					crow[cc] += alpha * v
+				}
+			}
+		}
+	}
+}
+
+// microKernelGeneric computes the 2×4 product acc = Σ_p a(:,p)·b(p,:)
+// over kb packed steps. The 8 accumulators stay in registers; plain
+// mul+add is used rather than math.FMA because the compiler's FMA
+// fallback branch forces every live register to spill around each call
+// site, which costs far more than fusion gains.
+func microKernelGeneric(kb int, ap, bp []float64, acc *[gemmMRMax * gemmNR]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	for p := 0; p < kb; p++ {
+		bi := p * gemmNR
+		b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
+		a0, a1 := ap[p*2], ap[p*2+1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+}

@@ -1,0 +1,97 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func hasAVX2FMA() bool
+//
+// True when CPUID reports FMA3 + AVX + OSXSAVE (leaf 1 ECX bits
+// 12/27/28), XCR0 shows the OS saves xmm+ymm state (XGETBV bits 1-2),
+// and leaf 7 EBX bit 5 reports AVX2.
+TEXT ·hasAVX2FMA(SB), NOSPLIT, $0-1
+	// Max standard leaf must cover leaf 7.
+	XORL AX, AX
+	XORL CX, CX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<12 | 1<<27 | 1<<28), BX
+	CMPL BX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func microKernel8x4Asm(kb int, ap, bp, acc *float64)
+//
+// 8x4 GEMM micro-kernel: acc[r][c] = sum_p ap[p*8+r] * bp[p*4+c].
+// Y0-Y7 hold one 4-wide row of the accumulator each; per k-step one
+// vector load of b's row and eight broadcast+FMA pairs. kb > 0.
+TEXT ·microKernel8x4Asm(SB), NOSPLIT, $0-32
+	MOVQ kb+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DX
+	MOVQ acc+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop:
+	VMOVUPD      (DX), Y8
+	VBROADCASTSD (SI), Y9
+	VBROADCASTSD 8(SI), Y10
+	VBROADCASTSD 16(SI), Y11
+	VBROADCASTSD 24(SI), Y12
+	VFMADD231PD  Y8, Y9, Y0
+	VFMADD231PD  Y8, Y10, Y1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y8, Y12, Y3
+	VBROADCASTSD 32(SI), Y13
+	VBROADCASTSD 40(SI), Y14
+	VBROADCASTSD 48(SI), Y15
+	VBROADCASTSD 56(SI), Y9
+	VFMADD231PD  Y8, Y13, Y4
+	VFMADD231PD  Y8, Y14, Y5
+	VFMADD231PD  Y8, Y15, Y6
+	VFMADD231PD  Y8, Y9, Y7
+	ADDQ         $64, SI
+	ADDQ         $32, DX
+	DECQ         CX
+	JNE          loop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, 128(DI)
+	VMOVUPD Y5, 160(DI)
+	VMOVUPD Y6, 192(DI)
+	VMOVUPD Y7, 224(DI)
+	VZEROUPPER
+	RET

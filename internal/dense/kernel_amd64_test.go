@@ -1,0 +1,36 @@
+//go:build amd64 && !purego
+
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestArchKernelMatchesGeneric cross-checks the AVX2 assembly
+// micro-kernel against the portable scalar kernel through the full
+// packed GEMM path (the two differ only by FMA rounding).
+func TestArchKernelMatchesGeneric(t *testing.T) {
+	if !useArchKernel {
+		t.Skip("CPU lacks AVX2+FMA; generic kernel is the only path")
+	}
+	rng := rand.New(rand.NewSource(47))
+	a := Random(rng, 97, 53)
+	b := Random(rng, 53, 61)
+	c := Random(rng, 97, 61)
+	vec := c.Clone()
+	Gemm(NoTrans, NoTrans, 1.25, a, b, 0.5, vec)
+
+	useArchKernel = false
+	gemmMR = 2
+	defer func() {
+		useArchKernel = true
+		gemmMR = 8
+	}()
+	gen := c.Clone()
+	Gemm(NoTrans, NoTrans, 1.25, a, b, 0.5, gen)
+
+	if diff := FrobDiff(vec, gen); diff > 1e-13*(1+gen.FrobNorm()) {
+		t.Fatalf("asm vs generic kernel diverge: %g", diff)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package dense
+
+// useArchKernel is false without an architecture micro-kernel; the
+// scalar 2×4 kernel handles everything.
+const useArchKernel = false
+
+// microKernelArch is never called when useArchKernel is false; it
+// exists so macroKernel's direct-call dispatch compiles everywhere.
+func microKernelArch(kb int, ap, bp []float64, acc *[gemmMRMax * gemmNR]float64) {
+	microKernelGeneric(kb, ap, bp, acc)
+}

@@ -59,6 +59,27 @@ func (m *Matrix) View(i, j, r, c int) *Matrix {
 	return &Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
 }
 
+// CopyBlock copies src into m with top-left corner (i0,j0), one
+// strided row-copy per row.
+func (m *Matrix) CopyBlock(i0, j0 int, src *Matrix) {
+	if i0 < 0 || j0 < 0 || i0+src.Rows > m.Rows || j0+src.Cols > m.Cols {
+		panic(fmt.Sprintf("dense: CopyBlock (%d,%d) %dx%d out of %dx%d",
+			i0, j0, src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		dst := m.Data[(i0+i)*m.Stride+j0 : (i0+i)*m.Stride+j0+src.Cols]
+		copy(dst, src.Row(i))
+	}
+}
+
+// viewVal is View without bounds checks, returning the header by value.
+// The blocked BLAS-3 kernels use it so sub-matrix headers stay on the
+// caller's stack instead of heap-allocating on every block (View cannot
+// be inlined past its panic formatting).
+func (m *Matrix) viewVal(i, j, r, c int) Matrix {
+	return Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
+}
+
 // Clone returns a deep copy of m with a compact stride.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

@@ -6,13 +6,26 @@ import "math"
 // matrix with m ≥ n. It returns Q (m×n with orthonormal columns) and R
 // (n×n upper triangular). A is not modified.
 func QR(a *Matrix) (q, r *Matrix) {
+	ws := GetWorkspace()
+	defer ws.Release()
+	qw, rw := QRWS(a, ws)
+	return qw.Clone(), rw.Clone()
+}
+
+// QRWS is QR with all storage — including the returned Q and R — taken
+// from ws, so a warm workspace makes the factorization allocation-free.
+// The results are only valid until ws.Release; callers keeping them must
+// Clone.
+func QRWS(a *Matrix, ws *Workspace) (q, r *Matrix) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic("dense: QR requires rows >= cols")
 	}
-	work := a.Clone()
-	taus := make([]float64, n)
-	vs := make([][]float64, n) // Householder vectors, v[0]=1 implicit
+	work := ws.MatrixCopy(a)
+	taus := ws.Floats(n)
+	// All Householder vectors live in one slab: v_k = vslab[k*m:][:m-k]
+	// with v_k[0] = 1 implicit in the stored 1.
+	vslab := ws.Floats(n * m)
 	for k := 0; k < n; k++ {
 		// Compute Householder reflector for column k below the diagonal.
 		var norm float64
@@ -24,11 +37,10 @@ func QR(a *Matrix) (q, r *Matrix) {
 		alpha := work.At(k, k)
 		if norm == 0 {
 			taus[k] = 0
-			vs[k] = make([]float64, m-k)
 			continue
 		}
 		beta := -math.Copysign(norm, alpha)
-		v := make([]float64, m-k)
+		v := vslab[k*m : k*m+m-k]
 		v[0] = 1
 		denom := alpha - beta
 		for i := k + 1; i < m; i++ {
@@ -39,7 +51,6 @@ func QR(a *Matrix) (q, r *Matrix) {
 			vnorm2 += x * x
 		}
 		taus[k] = 2 / vnorm2
-		vs[k] = v
 		// Apply (I - tau·v·vᵀ) to the trailing columns of work.
 		for j := k; j < n; j++ {
 			var s float64
@@ -52,14 +63,14 @@ func QR(a *Matrix) (q, r *Matrix) {
 			}
 		}
 	}
-	r = NewMatrix(n, n)
+	r = ws.Matrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			r.Set(i, j, work.At(i, j))
 		}
 	}
 	// Form thin Q by applying reflectors to the first n columns of I.
-	q = NewMatrix(m, n)
+	q = ws.Matrix(m, n)
 	for i := 0; i < n; i++ {
 		q.Set(i, i, 1)
 	}
@@ -67,7 +78,7 @@ func QR(a *Matrix) (q, r *Matrix) {
 		if taus[k] == 0 {
 			continue
 		}
-		v := vs[k]
+		v := vslab[k*m : k*m+m-k]
 		for j := 0; j < n; j++ {
 			var s float64
 			for i := k; i < m; i++ {
@@ -99,8 +110,19 @@ type QRCPResult struct {
 // min(m,n)). This is the rank-revealing workhorse behind TLR tile
 // compression: a ≈ Q·R·Pᵀ with rank columns.
 func QRCP(a *Matrix, tol float64, maxRank int) QRCPResult {
+	ws := GetWorkspace()
+	defer ws.Release()
+	res := QRCPWS(a, tol, maxRank, ws)
+	perm := make([]int, len(res.Perm))
+	copy(perm, res.Perm)
+	return QRCPResult{Q: res.Q.Clone(), R: res.R.Clone(), Perm: perm, Rank: res.Rank}
+}
+
+// QRCPWS is QRCP with all storage — including the returned Q, R and Perm
+// — taken from ws; the results are only valid until ws.Release.
+func QRCPWS(a *Matrix, tol float64, maxRank int, ws *Workspace) QRCPResult {
 	m, n := a.Rows, a.Cols
-	work := a.Clone()
+	work := ws.MatrixCopy(a)
 	kmax := m
 	if n < kmax {
 		kmax = n
@@ -108,19 +130,19 @@ func QRCP(a *Matrix, tol float64, maxRank int) QRCPResult {
 	if maxRank > 0 && maxRank < kmax {
 		kmax = maxRank
 	}
-	perm := make([]int, n)
+	perm := ws.Ints(n)
 	for j := range perm {
 		perm[j] = j
 	}
-	colNorm2 := make([]float64, n)
+	colNorm2 := ws.Floats(n)
 	for j := 0; j < n; j++ {
 		for i := 0; i < m; i++ {
 			v := work.At(i, j)
 			colNorm2[j] += v * v
 		}
 	}
-	taus := make([]float64, 0, kmax)
-	vs := make([][]float64, 0, kmax)
+	taus := ws.Floats(kmax)
+	vslab := ws.Floats(kmax * m) // v_k = vslab[k*m:][:m-k]
 	exactNorm2 := func(j, fromRow int) float64 {
 		var s float64
 		for i := fromRow; i < m; i++ {
@@ -175,7 +197,7 @@ func QRCP(a *Matrix, tol float64, maxRank int) QRCPResult {
 			break
 		}
 		beta := -math.Copysign(norm, alpha)
-		v := make([]float64, m-k)
+		v := vslab[k*m : k*m+m-k]
 		v[0] = 1
 		denom := alpha - beta
 		for i := k + 1; i < m; i++ {
@@ -186,8 +208,7 @@ func QRCP(a *Matrix, tol float64, maxRank int) QRCPResult {
 			vnorm2 += x * x
 		}
 		tau := 2 / vnorm2
-		taus = append(taus, tau)
-		vs = append(vs, v)
+		taus[k] = tau
 		work.Set(k, k, beta)
 		for i := k + 1; i < m; i++ {
 			work.Set(i, k, 0)
@@ -212,18 +233,18 @@ func QRCP(a *Matrix, tol float64, maxRank int) QRCPResult {
 		}
 	}
 	rank := k
-	r := NewMatrix(rank, n)
+	r := ws.Matrix(rank, n)
 	for i := 0; i < rank; i++ {
 		for j := i; j < n; j++ {
 			r.Set(i, j, work.At(i, j))
 		}
 	}
-	q := NewMatrix(m, rank)
+	q := ws.Matrix(m, rank)
 	for i := 0; i < rank; i++ {
 		q.Set(i, i, 1)
 	}
 	for kk := rank - 1; kk >= 0; kk-- {
-		v := vs[kk]
+		v := vslab[kk*m : kk*m+m-kk]
 		tau := taus[kk]
 		for j := 0; j < rank; j++ {
 			var s float64

@@ -1,9 +1,6 @@
 package dense
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // SVDResult holds a (thin) singular value decomposition A = U·diag(S)·Vᵀ
 // with U m×k, S length k (descending), V n×k, for k = min(m,n).
@@ -20,14 +17,35 @@ type SVDResult struct {
 // and in the TLR framework it is only ever applied to small
 // (rank+rank)² core matrices during recompression.
 func SVD(a *Matrix) SVDResult {
+	ws := GetWorkspace()
+	defer ws.Release()
+	res := SVDWS(a, ws)
+	s := make([]float64, len(res.S))
+	copy(s, res.S)
+	return SVDResult{U: res.U.Clone(), S: s, V: res.V.Clone()}
+}
+
+// SVDWS is SVD with all storage — including the returned factors —
+// taken from ws; the results are only valid until ws.Release.
+func SVDWS(a *Matrix, ws *Workspace) SVDResult {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		// Work on the transpose and swap U and V at the end.
-		res := SVD(a.T())
+		at := ws.Matrix(n, m)
+		for i := 0; i < m; i++ {
+			row := a.Row(i)
+			for j, v := range row {
+				at.Data[j*at.Stride+i] = v
+			}
+		}
+		res := SVDWS(at, ws)
 		return SVDResult{U: res.V, S: res.S, V: res.U}
 	}
-	u := a.Clone()
-	v := Identity(n)
+	u := ws.MatrixCopy(a)
+	v := ws.Matrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
 	const maxSweeps = 60
 	eps := 1e-15
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -75,7 +93,7 @@ func SVD(a *Matrix) SVDResult {
 		}
 	}
 	// Column norms are singular values; normalize U's columns.
-	s := make([]float64, n)
+	s := ws.Floats(n)
 	for j := 0; j < n; j++ {
 		var norm float64
 		for i := 0; i < m; i++ {
@@ -92,14 +110,19 @@ func SVD(a *Matrix) SVDResult {
 		}
 	}
 	// Sort singular values descending, permuting U and V columns alike.
-	idx := make([]int, n)
+	// Insertion sort keeps this allocation-free; n is a small core size.
+	idx := ws.Ints(n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return s[idx[i]] > s[idx[j]] })
-	us := NewMatrix(m, n)
-	vs := NewMatrix(n, n)
-	ss := make([]float64, n)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && s[idx[j]] > s[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	us := ws.Matrix(m, n)
+	vs := ws.Matrix(n, n)
+	ss := ws.Floats(n)
 	for jNew, jOld := range idx {
 		ss[jNew] = s[jOld]
 		for i := 0; i < m; i++ {

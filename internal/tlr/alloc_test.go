@@ -1,0 +1,44 @@
+package tlr
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/dense"
+)
+
+// TestGemmSteadyStateAllocs verifies the low-rank accumulation path
+// tlr.Gemm → hcat → Recompress runs its transients out of the workspace
+// arena: once warm, only the returned tile's owned factors may allocate
+// (a handful of allocations, versus >100 before the arena existed).
+func TestGemmSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const b, k = 128, 8
+	a := NewLowRank(dense.Random(rng, b, k), dense.Random(rng, b, k))
+	bt := NewLowRank(dense.Random(rng, b, k), dense.Random(rng, b, k))
+	c := Compress(dense.RandomLowRank(rng, b, b, k), 1e-9, 0)
+	cfg := GemmConfig{Tol: 1e-9}
+	run := func() { c = Gemm(a, bt, c, cfg) }
+	for i := 0; i < 3; i++ {
+		run() // warm the workspace pool to its high-water mark
+	}
+	if avg := testing.AllocsPerRun(10, run); avg > 8 {
+		t.Fatalf("tlr.Gemm steady state allocates %.1f allocs/op, want <= 8 (result tile only)", avg)
+	}
+}
+
+// TestRecompressSteadyStateAllocs verifies Recompress keeps all
+// transients (QRs, core SVD) in the arena; only the result tile's
+// factors are heap-allocated.
+func TestRecompressSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	u := dense.Random(rng, 128, 16)
+	v := dense.Random(rng, 128, 16)
+	run := func() { Recompress(u, v, 1e-9, 0) }
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(10, run); avg > 8 {
+		t.Fatalf("Recompress steady state allocates %.1f allocs/op, want <= 8", avg)
+	}
+}

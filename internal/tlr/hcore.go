@@ -40,23 +40,15 @@ func Syrk(a *Tile, c *dense.Matrix) {
 		return
 	}
 	k := a.Rank()
-	w := dense.NewMatrix(k, k)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	w := ws.Matrix(k, k)
 	dense.Gemm(dense.Trans, dense.NoTrans, 1, a.V, a.V, 0, w)
-	t := dense.NewMatrix(a.Rows, k)
+	t := ws.Matrix(a.Rows, k)
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a.U, w, 0, t)
-	// Lower triangle of C −= T·Uᵀ. T·Uᵀ = U·W·Uᵀ is symmetric because W is.
-	for i := 0; i < c.Rows; i++ {
-		ti := t.Row(i)
-		ci := c.Data[i*c.Stride:]
-		for j := 0; j <= i; j++ {
-			uj := a.U.Row(j)
-			var s float64
-			for kk := 0; kk < k; kk++ {
-				s += ti[kk] * uj[kk]
-			}
-			ci[j] -= s
-		}
-	}
+	// Lower triangle of C −= T·Uᵀ. T·Uᵀ = U·W·Uᵀ is symmetric because W
+	// is, so only the triangle is computed (half the flops).
+	dense.GemmLowerNT(-1, t, a.U, c)
 }
 
 // GemmConfig controls the low-rank accumulation in Gemm.
@@ -89,21 +81,24 @@ func Gemm(a, b, c *Tile, cfg GemmConfig) *Tile {
 	// Contribution −A·Bᵀ = −U_a·(V_aᵀ·V_b)·U_bᵀ, a rank ≤ min(k_a,k_b)
 	// low-rank term with factors P = −U_a·W (rows×k_b) and Q = U_b.
 	ka, kb := a.Rank(), b.Rank()
-	w := dense.NewMatrix(ka, kb)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	w := ws.Matrix(ka, kb)
 	dense.Gemm(dense.Trans, dense.NoTrans, 1, a.V, b.V, 0, w)
-	p := dense.NewMatrix(a.Rows, kb)
+	p := ws.Matrix(a.Rows, kb)
 	dense.Gemm(dense.NoTrans, dense.NoTrans, -1, a.U, w, 0, p)
 	q := b.U
 	switch c.Kind {
 	case Zero:
 		// Fill-in: the tile was annihilated by compression but the Schur
 		// update resurrects it (Section VI marks these in Algorithm 1).
-		return Recompress(p, q.Clone(), cfg.Tol, cfg.MaxRank)
+		// RecompressWS never retains its inputs, so q needs no copy.
+		return RecompressWS(p, q, cfg.Tol, cfg.MaxRank, ws)
 	case LowRank:
 		// C + P·Qᵀ via factor concatenation then recompression.
-		u := hcat(c.U, p)
-		v := hcat(c.V, q)
-		return Recompress(u, v, cfg.Tol, cfg.MaxRank)
+		u := hcat(ws, c.U, p)
+		v := hcat(ws, c.V, q)
+		return RecompressWS(u, v, cfg.Tol, cfg.MaxRank, ws)
 	default: // Dense accumulation.
 		dense.Gemm(dense.NoTrans, dense.Trans, 1, p, q, 1, c.D)
 		return c
@@ -117,21 +112,37 @@ func gemmDenseOperands(a, b, c *Tile, cfg GemmConfig) *Tile {
 	if a.Kind == Zero || b.Kind == Zero {
 		return c
 	}
-	ad := a.ToDense()
-	bd := b.ToDense()
-	prod := dense.NewMatrix(a.Rows, b.Rows)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	ad := denseValueWS(a, ws)
+	bd := denseValueWS(b, ws)
+	prod := ws.Matrix(a.Rows, b.Rows)
 	dense.Gemm(dense.NoTrans, dense.Trans, -1, ad, bd, 0, prod)
 	switch c.Kind {
 	case Dense:
 		c.D.Add(1, prod)
 		return c
 	case Zero:
-		return Compress(prod, cfg.Tol, cfg.MaxRank)
+		return CompressWS(prod, cfg.Tol, cfg.MaxRank, ws)
 	default:
-		cd := c.ToDense()
+		cd := denseValueWS(c, ws)
 		cd.Add(1, prod)
-		return Compress(cd, cfg.Tol, cfg.MaxRank)
+		return CompressWS(cd, cfg.Tol, cfg.MaxRank, ws)
 	}
+}
+
+// denseValueWS returns the tile's dense value: the stored matrix for a
+// Dense tile (shared, not copied), or a workspace materialization for
+// Zero/LowRank.
+func denseValueWS(t *Tile, ws *dense.Workspace) *dense.Matrix {
+	if t.Kind == Dense {
+		return t.D
+	}
+	out := ws.Matrix(t.Rows, t.Cols)
+	if t.Kind == LowRank {
+		dense.Gemm(dense.NoTrans, dense.Trans, 1, t.U, t.V, 0, out)
+	}
+	return out
 }
 
 // AddInto computes c + s·(a·bᵀ-style tile value) densely; a helper for
@@ -146,14 +157,14 @@ func AddInto(dst *dense.Matrix, s float64, t *Tile) {
 	}
 }
 
-func hcat(a, b *dense.Matrix) *dense.Matrix {
+// hcat concatenates [a | b] into a workspace matrix via strided row
+// copies; the result is valid until ws.Release.
+func hcat(ws *dense.Workspace, a, b *dense.Matrix) *dense.Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tlr: hcat rows %d vs %d", a.Rows, b.Rows))
 	}
-	out := dense.NewMatrix(a.Rows, a.Cols+b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		copy(out.Row(i)[:a.Cols], a.Row(i))
-		copy(out.Row(i)[a.Cols:], b.Row(i))
-	}
+	out := ws.Matrix(a.Rows, a.Cols+b.Cols)
+	out.CopyBlock(0, 0, a)
+	out.CopyBlock(0, a.Cols, b)
 	return out
 }

@@ -167,19 +167,43 @@ func (t *Tile) FrobNorm() float64 {
 // stays closed under {Zero, LowRank} × Dense-diagonal. maxRank ≤ 0 means
 // unlimited.
 func Compress(a *dense.Matrix, tol float64, maxRank int) *Tile {
-	res := dense.QRCP(a, tol, maxRank)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	return CompressWS(a, tol, maxRank, ws)
+}
+
+// CompressWS is Compress drawing its transient storage (the pivoted QR
+// working set) from ws. The returned tile owns its factors and stays
+// valid after ws.Release.
+func CompressWS(a *dense.Matrix, tol float64, maxRank int, ws *dense.Workspace) *Tile {
+	res := dense.QRCPWS(a, tol, maxRank, ws)
 	if res.Rank == 0 {
 		return NewZero(a.Rows, a.Cols)
 	}
-	// U = Q (rows×k), V = (R·Pᵀ)ᵀ (cols×k).
-	v := dense.UnpermuteColumns(res.R, res.Perm).T()
-	return NewLowRank(res.Q, v)
+	// U = Q (rows×k), V = (R·Pᵀ)ᵀ (cols×k), copied out of the workspace.
+	u := res.Q.Clone()
+	v := dense.NewMatrix(a.Cols, res.Rank)
+	for j, pj := range res.Perm {
+		for i := 0; i < res.Rank; i++ {
+			v.Set(pj, i, res.R.At(i, j))
+		}
+	}
+	return NewLowRank(u, v)
 }
 
 // Recompress rounds a low-rank representation (u·vᵀ) back to minimal
 // rank at the accuracy threshold: QR both factors, SVD the small core
 // Ru·Rvᵀ, truncate. This is the HCORE low-rank addition workhorse.
 func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	return RecompressWS(u, v, tol, maxRank, ws)
+}
+
+// RecompressWS is Recompress drawing all transients (the two QRs, the
+// core SVD and intermediate products) from ws. It never retains u or v;
+// the returned tile owns its factors and stays valid after ws.Release.
+func RecompressWS(u, v *dense.Matrix, tol float64, maxRank int, ws *dense.Workspace) *Tile {
 	k := u.Cols
 	if k == 0 {
 		return NewZero(u.Rows, v.Rows)
@@ -187,15 +211,15 @@ func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
 	if k > u.Rows || k > v.Rows {
 		// The stacked representation is wider than the tile: the QR path
 		// does not apply, so materialize and compress directly.
-		prod := dense.NewMatrix(u.Rows, v.Rows)
+		prod := ws.Matrix(u.Rows, v.Rows)
 		dense.Gemm(dense.NoTrans, dense.Trans, 1, u, v, 0, prod)
-		return Compress(prod, tol, maxRank)
+		return CompressWS(prod, tol, maxRank, ws)
 	}
-	qu, ru := dense.QR(u)
-	qv, rv := dense.QR(v)
-	core := dense.NewMatrix(k, k)
+	qu, ru := dense.QRWS(u, ws)
+	qv, rv := dense.QRWS(v, ws)
+	core := ws.Matrix(k, k)
 	dense.Gemm(dense.NoTrans, dense.Trans, 1, ru, rv, 0, core)
-	svd := dense.SVD(core)
+	svd := dense.SVDWS(core, ws)
 	newK := dense.TruncationRank(svd.S, tol)
 	if maxRank > 0 && newK > maxRank {
 		newK = maxRank
@@ -204,7 +228,7 @@ func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
 		return NewZero(u.Rows, v.Rows)
 	}
 	// U = Qu·Us·diag(S), V = Qv·Vs.
-	usS := dense.NewMatrix(k, newK)
+	usS := ws.Matrix(k, newK)
 	for i := 0; i < k; i++ {
 		for j := 0; j < newK; j++ {
 			usS.Set(i, j, svd.U.At(i, j)*svd.S[j])
@@ -212,7 +236,7 @@ func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
 	}
 	newU := dense.NewMatrix(u.Rows, newK)
 	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, qu, usS, 0, newU)
-	vsMat := dense.NewMatrix(k, newK)
+	vsMat := ws.Matrix(k, newK)
 	for i := 0; i < k; i++ {
 		for j := 0; j < newK; j++ {
 			vsMat.Set(i, j, svd.V.At(i, j))

@@ -131,7 +131,9 @@ func TestRecompressReducesRank(t *testing.T) {
 	u := res.Q
 	v := dense.UnpermuteColumns(res.R, res.Perm).T()
 	// Duplicate columns to inflate the stored rank.
-	uu := hcat(u, u)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	uu := hcat(ws, u, u)
 	vv := dense.NewMatrix(v.Rows, 2*v.Cols)
 	for i := 0; i < v.Rows; i++ {
 		for j := 0; j < v.Cols; j++ {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# bench.sh — the perf-regression harness. Runs the kernel and end-to-end
+# benchmarks, snapshots the results into BENCH_<stamp>.json (GFlop/s per
+# kernel, Fig04-scale factorization wall-clock, allocs/op), and — when a
+# previous snapshot exists — prints a before/after table and fails if any
+# tracked metric regressed beyond the threshold (see cmd/benchreport).
+#
+# Usage:
+#   scripts/bench.sh            # snapshot + compare against previous
+#   BENCHTIME=2s scripts/bench.sh
+#   BENCH_TAG=baseline scripts/bench.sh   # tag the snapshot file name
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN='^(BenchmarkDense|BenchmarkHCore|BenchmarkRecompress|BenchmarkCompressTile|BenchmarkFactorizeRBF)'
+STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
+TAG="${BENCH_TAG:+-$BENCH_TAG}"
+OUT="BENCH_${STAMP}${TAG}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== running benchmarks (benchtime=$BENCHTIME)"
+go test -run='^$' -bench="$PATTERN" -benchtime="$BENCHTIME" -timeout=30m . | tee "$RAW"
+
+echo "== writing $OUT"
+go run ./cmd/benchreport < "$RAW" > "$OUT"
+
+# Compare against the most recent earlier snapshot, if any.
+PREV="$(ls BENCH_*.json 2>/dev/null | sort | grep -B1000 -F "$OUT" | grep -v -F "$OUT" | tail -1 || true)"
+if [ -n "$PREV" ]; then
+    echo "== comparing $PREV -> $OUT"
+    go run ./cmd/benchreport -compare "$PREV" "$OUT"
+else
+    echo "== no previous snapshot; $OUT is the new baseline"
+fi

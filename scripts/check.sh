@@ -3,7 +3,8 @@
 # concurrency lint (cmd/lint), race-detector tests on the concurrency-
 # critical packages (the task runtime, the PTG front end and the static
 # verifier's own suite), then the full test suite, which includes the
-# verifier self-checks in internal/verify.
+# verifier self-checks in internal/verify, and finally a one-iteration
+# benchmark smoke run so the perf harness itself cannot bit-rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +22,8 @@ go test -race ./internal/runtime ./internal/ptg ./internal/verify
 
 echo "== full test suite"
 go test ./...
+
+echo "== benchmark smoke run (1 iteration per benchmark)"
+go test -run '^$' -bench=. -benchtime=1x . > /dev/null
 
 echo "check.sh: all gates passed"
