@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strconv"
@@ -35,7 +36,55 @@ type Snapshot struct {
 	Schema     string                  `json:"schema"`
 	Generated  string                  `json:"generated"`
 	GoVersion  string                  `json:"go"`
+	Meta       Meta                    `json:"meta,omitempty"`
 	Benchmarks map[string]BenchMetrics `json:"benchmarks"`
+}
+
+// Meta records where and how a snapshot was taken, so a comparison
+// across machines or commits is recognizable as such instead of
+// reading like a regression.
+type Meta struct {
+	GitCommit  string `json:"git_commit,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+func (m Meta) String() string {
+	parts := []string{}
+	if m.GitCommit != "" {
+		parts = append(parts, "commit "+m.GitCommit)
+	}
+	if m.GOOS != "" {
+		parts = append(parts, m.GOOS+"/"+m.GOARCH)
+	}
+	if m.GOMAXPROCS > 0 {
+		parts = append(parts, fmt.Sprintf("GOMAXPROCS=%d", m.GOMAXPROCS))
+	}
+	if m.CPU != "" {
+		parts = append(parts, m.CPU)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// collectMeta gathers the run environment. Best-effort: a missing git
+// binary or /proc simply leaves fields empty.
+func collectMeta() Meta {
+	m := Meta{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitCommit = strings.TrimSpace(string(out))
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, val, ok := strings.Cut(line, ":"); ok &&
+				strings.TrimSpace(name) == "model name" {
+				m.CPU = strings.TrimSpace(val)
+				break
+			}
+		}
+	}
+	return m
 }
 
 // BenchMetrics holds the per-benchmark measurements we track.
@@ -92,6 +141,7 @@ func parseBench(r *os.File) (*Snapshot, error) {
 		Schema:     "tlrchol-bench/v1",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
+		Meta:       collectMeta(),
 		Benchmarks: map[string]BenchMetrics{},
 	}
 	sc := bufio.NewScanner(r)
@@ -184,6 +234,16 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 	sort.Strings(names)
 	if len(names) == 0 {
 		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	if s := oldS.Meta.String(); s != "" {
+		fmt.Printf("old: %s (%s)\n", s, oldS.Generated)
+	}
+	if s := newS.Meta.String(); s != "" {
+		fmt.Printf("new: %s (%s)\n", s, newS.Generated)
+	}
+	if oldS.Meta.CPU != "" && newS.Meta.CPU != "" && oldS.Meta.CPU != newS.Meta.CPU {
+		fmt.Println("note: snapshots were taken on different CPUs; deltas may reflect hardware, not code")
 	}
 
 	var regs []regression

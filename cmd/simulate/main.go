@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"tlrchol/internal/dist"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/ranks"
 	"tlrchol/internal/sim"
 	"tlrchol/internal/trace"
@@ -28,6 +29,8 @@ func main() {
 	lorapo := flag.Bool("lorapo", false, "model the Lorapo baseline (untrimmed, floor-rank storage)")
 	engine := flag.String("engine", "auto", "auto, event (exact DAG) or estimate (analytic)")
 	gantt := flag.Bool("gantt", false, "print a per-process Gantt chart (event engine only)")
+	critpath := flag.Bool("critpath", false, "print the realized critical-path attribution (event engine only)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the simulated schedule (event engine only)")
 	flag.Parse()
 
 	var machine sim.Machine
@@ -56,7 +59,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *distName)
 		os.Exit(2)
 	}
-	cfg := sim.Config{Machine: machine, Nodes: *nodes, Remap: remap, CollectTrace: *gantt}
+	cfg := sim.Config{Machine: machine, Nodes: *nodes, Remap: remap,
+		CollectTrace: *gantt || *critpath || *traceOut != ""}
 
 	model := ranks.FromShape(ranks.PaperGeometry(*n, *b, *delta, *tol))
 	fmt.Printf("model: NT=%d, max rank %d, cutoff %d, density %.4f\n",
@@ -103,5 +107,28 @@ func main() {
 	fmt.Println()
 	if *gantt && len(r.Trace) > 0 {
 		fmt.Println(trace.Gantt(r.Trace, 100))
+	}
+	if *critpath && len(r.PathNodes) > 0 {
+		fmt.Print(obs.CriticalPath(r.PathNodes).String())
+	}
+	if *traceOut != "" && len(r.Trace) > 0 {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		meta := map[string]any{
+			"machine": *machineName, "nodes": *nodes, "n": *n, "b": *b,
+			"simulated": true,
+		}
+		if err := obs.WriteChromeTrace(f, trace.FromRecords(r.Trace), meta); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d simulated spans -> %s\n", len(r.Trace), *traceOut)
 	}
 }

@@ -7,14 +7,18 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"tlrchol/internal/core"
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/rbf"
 	"tlrchol/internal/tilemat"
 	"tlrchol/internal/trace"
@@ -34,7 +38,20 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print a per-class time breakdown and an ASCII Gantt chart")
 	nested := flag.Int("nested", 0, "nested-parallel diagonal POTRF sub-tile size (0 = off)")
 	kernelName := flag.String("kernel", "gaussian", "RBF kernel: gaussian (global support) or wendland (compact support)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file of the execution")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry (counters, gauges, histograms) after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		expvar.Publish("tlrchol.metrics", expvar.Func(func() any { return obs.Default.Map() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof/expvar serving on http://%s/debug/pprof and /debug/vars\n", *pprofAddr)
+	}
 
 	fmt.Printf("generating %d mesh points (virus population)...\n", *n)
 	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(*n))[:*n]
@@ -62,6 +79,10 @@ func main() {
 		float64(st.DenseBytes)/float64(st.CompressedBytes))
 	fmt.Printf("initial structure: density=%.3f  ranks max/avg/min = %d/%.1f/%d  (NT=%d)\n",
 		stats.Density, stats.Max, stats.Avg, stats.Min, m.NT)
+	rankBounds := []float64{0, 2, 4, 8, 16, 32, 64, 128, 256}
+	m.ObserveRanks(obs.Default.Histogram("tilerank.before", rankBounds...))
+	obs.Default.Counter("bytes.dense").Add(0, uint64(st.DenseBytes))
+	obs.Default.Counter("bytes.compressed").Add(0, uint64(st.CompressedBytes))
 
 	if *check && !*seq {
 		s := core.Structure(m, *trim)
@@ -89,10 +110,22 @@ func main() {
 	if *verify {
 		ref = prob.Dense()
 	}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		if *seq {
+			fmt.Fprintln(os.Stderr, "-trace-out requires the task runtime; ignoring under -sequential")
+			*traceOut = ""
+		} else {
+			tr = obs.NewTracer()
+			obs.Activate(tr)
+		}
+	}
 	rep, err := core.Factorize(m, core.Options{
 		Tol: *tol, Trim: *trim, Workers: *workers, Sequential: *seq,
 		NestedDiag: *nested, CollectTrace: *showTrace && !*seq,
+		Tracer: tr, CritPath: (*showTrace || *traceOut != "") && !*seq,
 	})
+	obs.Deactivate()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "factorization failed: %v\n", err)
 		os.Exit(1)
@@ -103,13 +136,59 @@ func main() {
 		fmt.Printf("trimming analysis: %v, %.1f KB\n",
 			rep.Analysis.Round(time.Microsecond), float64(rep.AnalysisBytes)/1e3)
 	}
+	// The data-sparsity summary is the paper's headline number; print it
+	// on every run, traced or not.
+	effPct := 0.0
+	if rep.DenseFlops > 0 {
+		effPct = 100 * rep.EffFlops / rep.DenseFlops
+	}
+	fmt.Printf("data sparsity: %d tasks executed, %d trimmed away; effective flops %.3g of dense %.3g (%.1f%%)\n",
+		rep.TasksExecuted, rep.TasksTrimmed, rep.EffFlops, rep.DenseFlops, effPct)
 	final := m.Stats()
 	fmt.Printf("final structure: density=%.3f  ranks max/avg/min = %d/%.1f/%d\n",
 		final.Density, final.Max, final.Avg, final.Min)
+	m.ObserveRanks(obs.Default.Histogram("tilerank.after", rankBounds...))
+	if !*seq {
+		obs.Default.Gauge("sched.ready.highwater").Set(int64(rep.Runtime.MaxReady))
+	}
 
 	if *showTrace && len(rep.Trace) > 0 {
 		fmt.Println(trace.Analyze(rep.Trace).String())
 		fmt.Println(trace.Gantt(rep.Trace, 100))
+	}
+	if rep.CritPath != nil {
+		fmt.Print(rep.CritPath.String())
+	}
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", ferr)
+			os.Exit(1)
+		}
+		meta := map[string]any{
+			"n": *n, "b": *b, "tol": *tol, "trim": *trim,
+			"workers": rep.Runtime.Workers, "tasks": rep.TasksExecuted,
+		}
+		events := tr.Events()
+		if werr := obs.WriteChromeTrace(f, events, meta); werr != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", werr)
+			os.Exit(1)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", cerr)
+			os.Exit(1)
+		}
+		spans := 0
+		for _, e := range events {
+			if e.Kind == obs.KindSpan {
+				spans++
+			}
+		}
+		fmt.Printf("trace: %d spans (%d events, %d dropped) -> %s\n",
+			spans, len(events), tr.Dropped(), *traceOut)
+	}
+	if *showMetrics {
+		fmt.Print(obs.Default.Snapshot().String())
 	}
 	if *verify {
 		fmt.Printf("factor error |LL^T - A|/|A| = %.3e\n", core.FactorError(m, ref))

@@ -5,6 +5,7 @@ package tlrchol
 // rather than unit behaviour.
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"tlrchol/internal/core"
 	"tlrchol/internal/dense"
 	"tlrchol/internal/dist"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/ranks"
 	"tlrchol/internal/rbf"
 	"tlrchol/internal/sim"
@@ -131,6 +133,105 @@ func TestTLRBeatsDenseBaseline(t *testing.T) {
 	}
 	if r := core.ResidualNorm(ref, xT, rhs); r > 1e-4 {
 		t.Fatalf("TLR residual %g", r)
+	}
+}
+
+// TestObsSmoke runs a traced, metered factorization end to end and
+// checks the observability contract: every executed task has exactly
+// one span, the Chrome export validates and covers all spans, the
+// per-class counters agree with the report's task counts, the
+// effective-flop accounting shows the data-sparsity win, and the
+// critical-path attribution is internally consistent.
+func TestObsSmoke(t *testing.T) {
+	const (
+		n   = 1024
+		b   = 128
+		tol = 1e-4
+	)
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	kernel := rbf.Gaussian{Delta: 2.5 * rbf.DefaultShape(pts), Nugget: 100 * tol}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	m, st := tilemat.FromAssembler(n, b, prob.Block, tol, 0)
+
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry(0)
+	rep, err := core.Factorize(m, core.Options{
+		Tol: tol, Trim: true, Workers: 2,
+		Tracer: tr, Metrics: reg, CritPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One span per executed task, nothing dropped.
+	events := tr.Events()
+	spans := 0
+	for _, e := range events {
+		if e.Kind == obs.KindSpan {
+			spans++
+		}
+	}
+	if spans != rep.TasksExecuted {
+		t.Fatalf("span count %d != executed tasks %d", spans, rep.TasksExecuted)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d events", tr.Dropped())
+	}
+
+	// The Chrome export must validate and cover every span.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events, map[string]any{"n": n, "b": b}); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if tc.Spans != spans {
+		t.Fatalf("exported %d spans, traced %d", tc.Spans, spans)
+	}
+
+	// Per-class task counters agree with the report (fresh registry, no
+	// nested POTRF, so counts match the created task instances exactly).
+	counts := map[string]int{}
+	for _, c := range reg.Snapshot().Counters {
+		counts[c.Name] = int(c.Value)
+	}
+	if counts["tasks.potrf"] != rep.Potrf || counts["tasks.trsm"] != rep.Trsm ||
+		counts["tasks.syrk"] != rep.Syrk || counts["tasks.gemm"] != rep.Gemm {
+		t.Fatalf("counter/report mismatch: %v vs %d/%d/%d/%d",
+			counts, rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm)
+	}
+
+	// Data-sparsity accounting: compression saved memory, trimming
+	// removed tasks, and the effective flops undercut the dense count.
+	if st.CompressedBytes >= st.DenseBytes {
+		t.Fatalf("no compression: %d >= %d", st.CompressedBytes, st.DenseBytes)
+	}
+	if rep.TasksTrimmed <= 0 {
+		t.Fatalf("trimming removed no tasks")
+	}
+	if rep.EffFlops <= 0 || rep.EffFlops >= rep.DenseFlops {
+		t.Fatalf("effective flops %g should undercut dense %g", rep.EffFlops, rep.DenseFlops)
+	}
+
+	// Critical path: non-empty, consistent with the makespan, and its
+	// work + bubbles reach the path's end.
+	cp := rep.CritPath
+	if cp == nil || len(cp.Steps) == 0 {
+		t.Fatalf("critical path missing")
+	}
+	last := cp.Steps[len(cp.Steps)-1]
+	if last.Finish != cp.Makespan {
+		t.Fatalf("path should end at the makespan: %v vs %v", last.Finish, cp.Makespan)
+	}
+	if cp.Work+cp.Bubble != last.Finish {
+		t.Fatalf("work %v + bubble %v != path end %v", cp.Work, cp.Bubble, last.Finish)
+	}
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].Start < cp.Steps[i-1].Finish {
+			t.Fatalf("path steps overlap: %+v -> %+v", cp.Steps[i-1], cp.Steps[i])
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/runtime"
 	"tlrchol/internal/tilemat"
 	"tlrchol/internal/tlr"
@@ -45,6 +46,19 @@ type Options struct {
 	// CollectTrace records per-task execution records in Report.Trace
 	// (parallel path only).
 	CollectTrace bool
+	// Tracer, if non-nil, receives the execution's structured event
+	// stream: one span per executed task (with tile coordinates, ranks
+	// and effective flops), scheduler counter samples and instant events.
+	// Nil keeps the instrumented paths on their zero-allocation no-op
+	// branches. Parallel path only.
+	Tracer *obs.Tracer
+	// Metrics selects the registry kernel counters record into; nil uses
+	// the process-wide obs.Default. Report carries per-run flop deltas
+	// either way, so sharing a registry across runs is fine.
+	Metrics *obs.Registry
+	// CritPath computes the realized critical path of the executed DAG
+	// into Report.CritPath (parallel path only).
+	CritPath bool
 }
 
 // Report describes what a factorization did.
@@ -64,6 +78,22 @@ type Report struct {
 	// Trace holds per-task execution records when Options.CollectTrace
 	// was set.
 	Trace []runtime.TaskRecord
+	// EffFlops is the effective flop count of the kernels this run
+	// executed on their actual (compressed) representations; DenseFlops
+	// is what the same update sequence would have cost on dense tiles.
+	// Their ratio is the data-sparsity win the paper measures.
+	EffFlops, DenseFlops float64
+	// TasksExecuted counts the tasks that ran (including nested-POTRF
+	// sub-tasks on the parallel path); TasksTrimmed the task instances
+	// of the full dense DAG that were never created thanks to trimming
+	// (zero when Options.Trim is off).
+	TasksExecuted, TasksTrimmed int
+	// Metrics is the registry this run recorded into (Options.Metrics,
+	// or obs.Default when that was nil).
+	Metrics *obs.Registry
+	// CritPath is the realized critical-path attribution when
+	// Options.CritPath was set (parallel path only).
+	CritPath *obs.PathReport
 }
 
 // rankArray adapts a tilemat to the trimming analysis input.
@@ -108,15 +138,33 @@ func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
 		structure = trim.Full{Nt: m.NT}
 	}
 	rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm = trim.TaskCounts(structure)
+	fp, ft, fs, fg := trim.TaskCounts(trim.Full{Nt: m.NT})
+	rep.TasksTrimmed = (fp + ft + fs + fg) - (rep.Potrf + rep.Trsm + rep.Syrk + rep.Gemm)
+
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default
+	}
+	rep.Metrics = opts.Metrics
+	in := newInstr(opts.Metrics)
+	effBefore, dnsBefore := in.flopTotals()
 
 	start := time.Now()
 	var err error
 	if opts.Sequential {
-		err = factorizeSequential(m, structure, opts)
+		err = factorizeSequential(m, structure, opts, in)
+		rep.TasksExecuted = rep.Potrf + rep.Trsm + rep.Syrk + rep.Gemm
 	} else {
-		rep.Runtime, rep.Trace, err = factorizeParallel(m, structure, opts)
+		var nodes []obs.PathNode
+		rep.Runtime, rep.Trace, nodes, err = factorizeParallel(m, structure, opts)
+		rep.TasksExecuted = rep.Runtime.Executed
+		if len(nodes) > 0 {
+			pr := obs.CriticalPath(nodes)
+			rep.CritPath = &pr
+		}
 	}
 	rep.Elapsed = time.Since(start)
+	effAfter, dnsAfter := in.flopTotals()
+	rep.EffFlops, rep.DenseFlops = effAfter-effBefore, dnsAfter-dnsBefore
 	if err != nil {
 		return rep, err
 	}
@@ -124,25 +172,34 @@ func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
 	return rep, nil
 }
 
-// factorizeSequential is the loop-order reference implementation.
-func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options) error {
+// factorizeSequential is the loop-order reference implementation. It
+// records into the same instrumentation as the parallel path, on
+// shard 0.
+func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options, in *instr) error {
 	nt := m.NT
 	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
 	for k := 0; k < nt; k++ {
 		if err := dense.Potrf(m.At(k, k).D); err != nil {
 			return fmt.Errorf("core: POTRF(%d): %w", k, err)
 		}
+		in.potrf(0, m.At(k, k).D.Rows, nil)
 		l := m.At(k, k).D
 		nb := s.NbTrsm(k)
 		for i := 0; i < nb; i++ {
-			tlr.Trsm(l, m.At(s.TrsmAt(k, i), k))
+			t := m.At(s.TrsmAt(k, i), k)
+			tlr.Trsm(l, t)
+			in.trsm(0, t, nil)
 		}
 		for i := 0; i < nb; i++ {
 			mi := s.TrsmAt(k, i)
 			tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
+			in.syrk(0, m.At(mi, k), nil)
 			for j := 0; j < i; j++ {
 				ni := s.TrsmAt(k, j)
-				m.Set(mi, ni, tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg))
+				ka, kb, kc := m.At(mi, k).Rank(), m.At(ni, k).Rank(), m.At(mi, ni).Rank()
+				out := tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg)
+				m.Set(mi, ni, out)
+				in.gemm(0, ka, kb, kc, out, nil)
 			}
 		}
 	}
@@ -153,14 +210,18 @@ func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options) erro
 // runtime: POTRF/TRSM/SYRK/GEMM task instances with the dependency
 // pattern of the tile Cholesky, serialized per written tile, and
 // critical-path-first priorities.
-func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runtime.Stats, []runtime.TaskRecord, error) {
+func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runtime.Stats, []runtime.TaskRecord, []obs.PathNode, error) {
 	g := BuildGraph(m, s, opts)
 	st, err := g.Run(opts.Workers)
 	var recs []runtime.TaskRecord
 	if opts.CollectTrace {
 		recs = g.Trace()
 	}
-	return st, recs, err
+	var nodes []obs.PathNode
+	if opts.CritPath {
+		nodes = g.PathNodes()
+	}
+	return st, recs, nodes, err
 }
 
 // BuildGraph unrolls the factorization task graph without running it.
@@ -171,6 +232,9 @@ func factorizeParallel(m *tilemat.Matrix, s trim.Structure, opts Options) (runti
 func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Graph {
 	nt := m.NT
 	g := runtime.NewGraph()
+	g.Observe(opts.Tracer)
+	traced := opts.Tracer != nil
+	in := newInstr(opts.Metrics)
 	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
 
 	// lastWriter[tile] tracks the chain tail for tiles that receive
@@ -196,10 +260,21 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 		if opts.NestedDiag > 0 && m.TileRows(k) >= 2*opts.NestedDiag {
 			pt = addNestedPotrf(g, m.At(k, k).D, opts.NestedDiag,
 				lastWriter[tileKey{k, k}], potrfPrio(k), fmt.Sprintf("potrf(%d)", k))
+			// The sub-tasks carry their own spans; the tile-level flop
+			// accounting is recorded here, statically — a dense POTRF's
+			// cost does not depend on runtime state.
+			in.potrf(0, m.TileRows(k), nil)
 		} else {
-			pt = g.NewTask(fmt.Sprintf("potrf(%d)", k), potrfPrio(k), func() error {
-				return dense.Potrf(m.At(k, k).D)
-			})
+			pt = g.NewTask(fmt.Sprintf("potrf(%d)", k), potrfPrio(k), nil)
+			pt.Info = spanInfo(traced, k, k, k)
+			ptc := pt
+			pt.Run = func() error {
+				if err := dense.Potrf(m.At(k, k).D); err != nil {
+					return err
+				}
+				in.potrf(ptc.Worker(), m.At(k, k).D.Rows, ptc.Info)
+				return nil
+			}
 			if lw := lastWriter[tileKey{k, k}]; lw != nil {
 				g.AddDep(lw, pt)
 			}
@@ -213,10 +288,14 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 		nb := s.NbTrsm(k)
 		for i := 0; i < nb; i++ {
 			mi := s.TrsmAt(k, i)
-			tt := g.NewTask(fmt.Sprintf("trsm(%d,%d)", k, mi), trsmPrio(k, mi), func() error {
+			tt := g.NewTask(fmt.Sprintf("trsm(%d,%d)", k, mi), trsmPrio(k, mi), nil)
+			tt.Info = spanInfo(traced, k, mi, k)
+			ttc := tt
+			tt.Run = func() error {
 				tlr.Trsm(m.At(k, k).D, m.At(mi, k))
+				in.trsm(ttc.Worker(), m.At(mi, k), ttc.Info)
 				return nil
-			})
+			}
 			tt.DeclareAccesses(runtime.R(tileKey{k, k}), runtime.W(tileKey{mi, k}))
 			g.AddDep(pt, tt)
 			if lw := lastWriter[tileKey{mi, k}]; lw != nil {
@@ -225,10 +304,14 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 			lastWriter[tileKey{mi, k}] = tt
 			trsmT[tileKey{mi, k}] = tt
 
-			st := g.NewTask(fmt.Sprintf("syrk(%d,%d)", k, mi), syrkPrio(k, mi), func() error {
+			st := g.NewTask(fmt.Sprintf("syrk(%d,%d)", k, mi), syrkPrio(k, mi), nil)
+			st.Info = spanInfo(traced, k, mi, mi)
+			stc := st
+			st.Run = func() error {
 				tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
+				in.syrk(stc.Worker(), m.At(mi, k), stc.Info)
 				return nil
-			})
+			}
 			st.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.W(tileKey{mi, mi}))
 			g.AddDep(tt, st)
 			if lw := lastWriter[tileKey{mi, mi}]; lw != nil {
@@ -238,10 +321,16 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 
 			for j := 0; j < i; j++ {
 				ni := s.TrsmAt(k, j)
-				gt := g.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", k, mi, ni), gemmPrio(k, mi, ni), func() error {
-					m.Set(mi, ni, tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg))
+				gt := g.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", k, mi, ni), gemmPrio(k, mi, ni), nil)
+				gt.Info = spanInfo(traced, k, mi, ni)
+				gtc := gt
+				gt.Run = func() error {
+					ka, kb, kc := m.At(mi, k).Rank(), m.At(ni, k).Rank(), m.At(mi, ni).Rank()
+					out := tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg)
+					m.Set(mi, ni, out)
+					in.gemm(gtc.Worker(), ka, kb, kc, out, gtc.Info)
 					return nil
-				})
+				}
 				gt.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.R(tileKey{ni, k}),
 					runtime.W(tileKey{mi, ni}))
 				g.AddDep(tt, gt)

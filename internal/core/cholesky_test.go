@@ -1,10 +1,13 @@
 package core
 
 import (
-	"math/rand"
+	"maps"
+	"strings"
 	"testing"
 
+	"math/rand"
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/rbf"
 	"tlrchol/internal/tilemat"
 	"tlrchol/internal/trim"
@@ -260,5 +263,78 @@ func TestDenseBaselineFactorization(t *testing.T) {
 	// And the TLR factor stores far fewer bytes.
 	if mTLR.Bytes() >= mDense.Bytes() {
 		t.Fatalf("TLR must save memory: %d vs %d", mTLR.Bytes(), mDense.Bytes())
+	}
+}
+
+// TestInstrumentationSequentialMatchesParallel: the sequential and
+// parallel paths record identical task counters and identical
+// dense-equivalent flops into their registries, and the effective flops
+// land in the same ballpark (ranks evolve slightly differently under
+// different execution orders).
+func TestInstrumentationSequentialMatchesParallel(t *testing.T) {
+	const tol = 1e-6
+	m1, _ := rbfMatrix(t, 640, 80, 2, tol)
+	m2 := m1.Clone()
+	r1, err := Factorize(m1, Options{Tol: tol, Trim: true, Sequential: true,
+		Metrics: obs.NewRegistry(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Factorize(m2, Options{Tol: tol, Trim: true, Workers: 2,
+		Metrics: obs.NewRegistry(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DenseFlops != r2.DenseFlops {
+		t.Fatalf("dense-equivalent flops diverge: %g vs %g", r1.DenseFlops, r2.DenseFlops)
+	}
+	if r1.EffFlops <= 0 || r2.EffFlops <= 0 {
+		t.Fatalf("effective flops not recorded: %g, %g", r1.EffFlops, r2.EffFlops)
+	}
+	if ratio := r1.EffFlops / r2.EffFlops; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("effective flops diverge: %g vs %g", r1.EffFlops, r2.EffFlops)
+	}
+	c1, c2 := map[string]uint64{}, map[string]uint64{}
+	for _, c := range r1.Metrics.Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "tasks.") {
+			c1[c.Name] = c.Value
+		}
+	}
+	for _, c := range r2.Metrics.Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "tasks.") {
+			c2[c.Name] = c.Value
+		}
+	}
+	if len(c1) != 4 || !maps.Equal(c1, c2) {
+		t.Fatalf("task counters diverge: %v vs %v", c1, c2)
+	}
+	if r1.TasksExecuted != r2.TasksExecuted {
+		t.Fatalf("executed counts diverge: %d vs %d", r1.TasksExecuted, r2.TasksExecuted)
+	}
+	if r1.TasksTrimmed != r2.TasksTrimmed || r1.TasksTrimmed <= 0 {
+		t.Fatalf("trimmed counts wrong: %d vs %d", r1.TasksTrimmed, r2.TasksTrimmed)
+	}
+}
+
+// TestUntracedTasksCarryNoInfo: without a tracer the graph builder must
+// not allocate span annotations (the zero-cost-off contract).
+func TestUntracedTasksCarryNoInfo(t *testing.T) {
+	const tol = 1e-6
+	m, _ := rbfMatrix(t, 512, 64, 2, tol)
+	g := BuildGraph(m, Structure(m, true), Options{Tol: tol})
+	for i := 0; i < g.Tasks(); i++ {
+		if g.Task(i).Info != nil {
+			t.Fatalf("task %d carries Info without a tracer", i)
+		}
+	}
+	g2 := BuildGraph(m, Structure(m, true), Options{Tol: tol, Tracer: obs.NewTracer()})
+	withInfo := 0
+	for i := 0; i < g2.Tasks(); i++ {
+		if g2.Task(i).Info != nil {
+			withInfo++
+		}
+	}
+	if withInfo != g2.Tasks() {
+		t.Fatalf("traced graph should annotate every task: %d/%d", withInfo, g2.Tasks())
 	}
 }

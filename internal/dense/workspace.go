@@ -1,6 +1,24 @@
 package dense
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"tlrchol/internal/obs"
+)
+
+// Workspace-pool metrics, registered once in the process-wide registry.
+// A hit is a Get that reused a warm workspace; a miss had to construct
+// a cold one (first use, or the pool was drained by GC); a grow is a
+// Release that had to coalesce an overflowed slab to a new high-water
+// mark. Hit/miss increments shard on the workspace's own id — each
+// workspace is goroutine-local for its cycle, so shards never contend.
+var (
+	wsHits   = obs.Default.Counter("workspace.pool.hit")
+	wsMisses = obs.Default.Counter("workspace.pool.miss")
+	wsGrows  = obs.Default.Counter("workspace.pool.grow")
+	wsNext   atomic.Int64
+)
 
 // Workspace is a bump-allocated scratch arena for the transient
 // matrices and slices of the TLR hot paths (HCORE GEMM/SYRK, QR/QRCP,
@@ -26,12 +44,28 @@ type Workspace struct {
 
 	hdrs []*Matrix // reusable Matrix headers handed out by Matrix
 	nh   int
+
+	shard int  // metrics shard, fixed at construction
+	warm  bool // has completed at least one Get/Release cycle
 }
 
-var wsPool = sync.Pool{New: func() any { return &Workspace{} }}
+var wsPool = sync.Pool{New: func() any {
+	return &Workspace{shard: int(wsNext.Add(1))}
+}}
 
 // GetWorkspace takes a workspace from the shared pool.
-func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	w := wsPool.Get().(*Workspace)
+	if w.warm {
+		wsHits.Add(w.shard, 1)
+	} else {
+		wsMisses.Add(w.shard, 1)
+		if tr := obs.Active(); tr != nil {
+			tr.Instant("pool_miss", -1, 1)
+		}
+	}
+	return w
+}
 
 // Release reclaims every allocation handed out this cycle and returns
 // the workspace to the pool. If the cycle overflowed the slab, the
@@ -45,6 +79,7 @@ func (w *Workspace) Release() {
 		}
 		w.slab = make([]float64, total)
 		w.old = nil
+		wsGrows.Add(w.shard, 1)
 	}
 	if len(w.iold) > 0 {
 		total := len(w.ints)
@@ -53,10 +88,18 @@ func (w *Workspace) Release() {
 		}
 		w.ints = make([]int, total)
 		w.iold = nil
+		wsGrows.Add(w.shard, 1)
 	}
 	w.off, w.ioff, w.nh = 0, 0, 0
+	w.warm = true
 	wsPool.Put(w)
 }
+
+// Shard returns a metrics shard index that is contention-free for the
+// duration of this workspace's Get/Release cycle (workspaces are
+// goroutine-local), so kernels drawing from the workspace can reuse it
+// for their own obs counters.
+func (w *Workspace) Shard() int { return w.shard }
 
 // Floats returns a zeroed scratch slice of n float64s, valid until
 // Release.

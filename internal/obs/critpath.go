@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Critical-path attribution: given the executed DAG with realized start
+// and finish times, extract the realized critical path — the chain of
+// tasks in which each link is the predecessor that released its
+// successor last — and attribute the makespan to kernel classes and to
+// the idle "bubbles" between links. This is the lens that makes
+// scheduler decisions debuggable: a bubble on the path is time no
+// amount of extra parallelism elsewhere can recover. The same analysis
+// runs on real (runtime) and simulated (sim) executions, so both are
+// compared with one report format.
+
+// PathNode is one executed task of a DAG under analysis. Producers are
+// runtime.Graph.PathNodes and sim.Result.PathNodes.
+type PathNode struct {
+	Label  string
+	Worker int32
+	// Start and Finish are realized times from the execution origin.
+	Start, Finish time.Duration
+	// Preds indexes the node's executed predecessors.
+	Preds []int32
+}
+
+// PathStep is one link of the realized critical path.
+type PathStep struct {
+	Label         string
+	Worker        int32
+	Start, Finish time.Duration
+	// Wait is the bubble before this task started: the gap between its
+	// last-finishing predecessor's completion (or the execution origin)
+	// and its own start — time the path spent waiting on a worker or
+	// the scheduler rather than on data.
+	Wait time.Duration
+}
+
+// PathClass aggregates path time by task class.
+type PathClass struct {
+	Class string
+	Count int
+	Total time.Duration
+}
+
+// PathReport is the critical-path attribution of one execution.
+type PathReport struct {
+	// Makespan is the last finish time over all nodes.
+	Makespan time.Duration
+	// Steps is the realized critical path in execution order.
+	Steps []PathStep
+	// Work is the summed task time on the path; Bubble the summed
+	// waits. Work + Bubble spans from the origin to the path's end.
+	Work, Bubble time.Duration
+	// Classes is the path's class composition, largest share first.
+	Classes []PathClass
+}
+
+// CriticalPath extracts the realized critical path from an executed
+// DAG. The path ends at the node that finishes last and walks backward
+// through each node's last-finishing predecessor.
+func CriticalPath(nodes []PathNode) PathReport {
+	var r PathReport
+	if len(nodes) == 0 {
+		return r
+	}
+	sink := 0
+	for i := range nodes {
+		if nodes[i].Finish > nodes[sink].Finish {
+			sink = i
+		}
+		if nodes[i].Finish > r.Makespan {
+			r.Makespan = nodes[i].Finish
+		}
+	}
+	// Walk back, guarding against malformed (cyclic) inputs by bounding
+	// the walk at the node count.
+	var rev []PathStep
+	cur := int32(sink)
+	for range nodes {
+		n := &nodes[cur]
+		step := PathStep{Label: n.Label, Worker: n.Worker, Start: n.Start, Finish: n.Finish}
+		if len(n.Preds) == 0 {
+			step.Wait = n.Start
+			rev = append(rev, step)
+			break
+		}
+		enabler := n.Preds[0]
+		for _, p := range n.Preds[1:] {
+			if nodes[p].Finish > nodes[enabler].Finish {
+				enabler = p
+			}
+		}
+		if gap := n.Start - nodes[enabler].Finish; gap > 0 {
+			step.Wait = gap
+		}
+		rev = append(rev, step)
+		cur = enabler
+	}
+	r.Steps = make([]PathStep, len(rev))
+	for i, s := range rev {
+		r.Steps[len(rev)-1-i] = s
+	}
+	classes := map[string]*PathClass{}
+	for _, s := range r.Steps {
+		d := s.Finish - s.Start
+		r.Work += d
+		r.Bubble += s.Wait
+		c := ClassOf(s.Label)
+		pc := classes[c]
+		if pc == nil {
+			pc = &PathClass{Class: c}
+			classes[c] = pc
+		}
+		pc.Count++
+		pc.Total += d
+	}
+	r.Classes = make([]PathClass, 0, len(classes))
+	for _, pc := range classes {
+		r.Classes = append(r.Classes, *pc)
+	}
+	sort.Slice(r.Classes, func(i, j int) bool {
+		if r.Classes[i].Total != r.Classes[j].Total {
+			return r.Classes[i].Total > r.Classes[j].Total
+		}
+		return r.Classes[i].Class < r.Classes[j].Class
+	})
+	return r
+}
+
+// String renders the report: path length, work vs. bubble share of the
+// makespan, class composition and the largest stalls.
+func (r PathReport) String() string {
+	var sb strings.Builder
+	if len(r.Steps) == 0 {
+		return "critical path: empty execution\n"
+	}
+	pct := func(d time.Duration) float64 {
+		if r.Makespan == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(r.Makespan)
+	}
+	fmt.Fprintf(&sb, "critical path: %d tasks, work %v (%.1f%% of makespan %v), bubbles %v (%.1f%%)\n",
+		len(r.Steps), r.Work.Round(time.Microsecond), pct(r.Work),
+		r.Makespan.Round(time.Microsecond), r.Bubble.Round(time.Microsecond), pct(r.Bubble))
+	for _, c := range r.Classes {
+		fmt.Fprintf(&sb, "  %-8s %5d on-path tasks  %v\n", c.Class, c.Count, c.Total.Round(time.Microsecond))
+	}
+	// The largest stalls are where scheduling or worker shortage bit.
+	stalls := append([]PathStep(nil), r.Steps...)
+	sort.SliceStable(stalls, func(i, j int) bool { return stalls[i].Wait > stalls[j].Wait })
+	shown := 0
+	for _, s := range stalls {
+		if s.Wait <= 0 || shown == 3 {
+			break
+		}
+		fmt.Fprintf(&sb, "  stall %v before %s (worker %d)\n",
+			s.Wait.Round(time.Microsecond), s.Label, s.Worker)
+		shown++
+	}
+	return sb.String()
+}

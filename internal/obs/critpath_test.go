@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// TestCriticalPathDiamond hand-wires the canonical diamond DAG
+// A → {B, C} → D with C the slow branch: the realized path must be
+// A → C → D, and the gap before D (it waits for C, which finishes
+// after B) must show up as zero bubble while the late start of C
+// itself (scheduler delay) is attributed as a stall.
+func TestCriticalPathDiamond(t *testing.T) {
+	nodes := []PathNode{
+		{Label: "potrf(0)", Worker: 0, Start: 0, Finish: 10 * ms},                                // A
+		{Label: "trsm(0,1)", Worker: 1, Start: 10 * ms, Finish: 14 * ms, Preds: []int32{0}},      // B
+		{Label: "trsm(0,2)", Worker: 0, Start: 12 * ms, Finish: 30 * ms, Preds: []int32{0}},      // C, 2ms stall
+		{Label: "gemm(0,2,1)", Worker: 1, Start: 30 * ms, Finish: 35 * ms, Preds: []int32{1, 2}}, // D
+	}
+	r := CriticalPath(nodes)
+	if r.Makespan != 35*ms {
+		t.Fatalf("makespan %v", r.Makespan)
+	}
+	want := []string{"potrf(0)", "trsm(0,2)", "gemm(0,2,1)"}
+	if len(r.Steps) != len(want) {
+		t.Fatalf("path length %d, want %d: %+v", len(r.Steps), len(want), r.Steps)
+	}
+	for i, label := range want {
+		if r.Steps[i].Label != label {
+			t.Fatalf("step %d = %s, want %s", i, r.Steps[i].Label, label)
+		}
+	}
+	if r.Work != 33*ms { // 10 + 18 + 5
+		t.Fatalf("path work %v, want 33ms", r.Work)
+	}
+	if r.Bubble != 2*ms { // C started 2ms after A finished
+		t.Fatalf("path bubble %v, want 2ms", r.Bubble)
+	}
+	if r.Steps[1].Wait != 2*ms || r.Steps[2].Wait != 0 {
+		t.Fatalf("stall attribution wrong: %+v", r.Steps)
+	}
+	if r.Classes[0].Class != "trsm" || r.Classes[0].Total != 18*ms {
+		t.Fatalf("class composition wrong: %+v", r.Classes)
+	}
+	text := r.String()
+	for _, s := range []string{"critical path: 3 tasks", "trsm", "stall 2ms before trsm(0,2)"} {
+		if !strings.Contains(text, s) {
+			t.Fatalf("report missing %q:\n%s", s, text)
+		}
+	}
+}
+
+func TestCriticalPathSourceWait(t *testing.T) {
+	// A single task starting late: the whole delay is a source bubble.
+	r := CriticalPath([]PathNode{{Label: "potrf(0)", Start: 5 * ms, Finish: 9 * ms}})
+	if r.Bubble != 5*ms || r.Work != 4*ms || r.Makespan != 9*ms {
+		t.Fatalf("source wait wrong: %+v", r)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	r := CriticalPath(nil)
+	if len(r.Steps) != 0 || !strings.Contains(r.String(), "empty") {
+		t.Fatalf("empty input should render empty report")
+	}
+}

@@ -1,0 +1,244 @@
+// Package obs is the observability layer of the TLR Cholesky
+// framework: structured event tracing, a sharded metrics registry and
+// critical-path attribution over executed task DAGs. It reproduces the
+// instrumentation lens the paper's authors get from their companion
+// ProTools tooling — per-worker timelines, per-class breakdowns,
+// rank/memory statistics and critical-path stalls — as a first-class
+// subsystem the runtime, the kernels and the CLIs all thread through.
+//
+// The layer is built to cost nothing when it is off: every tracer entry
+// point is nil-safe (a nil *Tracer or *WorkerTracer is a no-op that
+// performs zero allocations), and metric increments are single atomic
+// adds into cache-line-padded per-worker shards. When tracing is on,
+// span events go into per-worker buffers written only by their owning
+// worker (no locks), and instant events from arbitrary goroutines go
+// into a fixed-capacity lock-free ring claimed with one atomic
+// increment. Everything is flushed and merged post-run.
+//
+// obs depends only on the standard library so every other package —
+// the runtime, the dense kernels, the tile containers — can import it
+// without cycles.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates event flavours in the trace stream.
+type Kind uint8
+
+const (
+	// KindSpan is a task execution interval (start + duration).
+	KindSpan Kind = iota
+	// KindInstant is a point event (pool miss, fill-in creation).
+	KindInstant
+	// KindCounter is a sampled counter value (ready-queue depth),
+	// rendered as a counter track by the Chrome trace exporter.
+	KindCounter
+)
+
+// SpanInfo carries the kernel-level annotations of one task span: tile
+// coordinates, ranks in/out and the effective flop count. The runtime
+// copies it into the span event at task completion; graph builders
+// attach it to tasks only when a tracer is active, so the untraced path
+// never allocates it.
+type SpanInfo struct {
+	// K, M, N are the task's tile coordinates (panel, row, column).
+	K, M, N int32
+	// RankIn is the rank of the written tile before the kernel ran,
+	// RankOut after (fill-in shows as RankIn == 0, RankOut > 0).
+	RankIn, RankOut int32
+	// Flops is the effective (data-sparse) flop count of the kernel.
+	Flops float64
+}
+
+// Event is one entry of the trace stream.
+type Event struct {
+	Kind Kind
+	// Name is the task label for spans ("gemm(3,5,1)") or the event
+	// name for instants and counters ("pool_miss", "ready_queue").
+	Name string
+	// Worker is the worker/process track the event belongs to; -1 means
+	// no particular worker (background/shared events).
+	Worker int32
+	// Start is the offset from the trace origin; Dur is the span
+	// duration (zero for instants and counters).
+	Start, Dur time.Duration
+	// Value is the counter sample or instant payload.
+	Value float64
+	// Info holds kernel annotations when HasInfo is set.
+	Info    SpanInfo
+	HasInfo bool
+}
+
+// ClassOf extracts the task class from a label: "gemm(3,5,1)" → "gemm",
+// "potrf(2)/trsm(0,1)" → "potrf".
+func ClassOf(label string) string {
+	if i := strings.IndexAny(label, "(/"); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+// WorkerTracer is the per-worker event buffer. It is owned by exactly
+// one worker goroutine: appends are unsynchronized and therefore free
+// of lock traffic; the tracer merges all buffers after the run joins.
+type WorkerTracer struct {
+	id     int32
+	events []Event
+}
+
+// Span records a completed task execution. Safe on a nil receiver
+// (no-op, zero allocations).
+func (w *WorkerTracer) Span(name string, info *SpanInfo, start, dur time.Duration) {
+	if w == nil {
+		return
+	}
+	e := Event{Kind: KindSpan, Name: name, Worker: w.id, Start: start, Dur: dur}
+	if info != nil {
+		e.Info, e.HasInfo = *info, true
+	}
+	w.events = append(w.events, e)
+}
+
+// Instant records a point event on this worker's track. Safe on nil.
+func (w *WorkerTracer) Instant(name string, ts time.Duration, value float64) {
+	if w == nil {
+		return
+	}
+	w.events = append(w.events, Event{Kind: KindInstant, Name: name, Worker: w.id, Start: ts, Value: value})
+}
+
+// defaultRingCap bounds the shared instant-event ring. Events past the
+// capacity are counted in Dropped rather than recorded.
+const defaultRingCap = 1 << 14
+
+// Tracer collects one execution's event stream: per-worker span
+// buffers, a scheduler event list (serialized by the scheduler's own
+// lock) and a lock-free shared ring for instant events from arbitrary
+// goroutines. All entry points are safe on a nil *Tracer.
+type Tracer struct {
+	t0      time.Time
+	workers []*WorkerTracer
+	sched   []Event
+	ring    []Event
+	cur     atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewTracer returns an idle tracer. StartAt must be called (the runtime
+// does it) before workers are handed their buffers.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now(), ring: make([]Event, defaultRingCap)}
+}
+
+// StartAt fixes the trace origin and sizes the per-worker buffers.
+// Safe on nil.
+func (t *Tracer) StartAt(t0 time.Time, workers int) {
+	if t == nil {
+		return
+	}
+	t.t0 = t0
+	t.workers = make([]*WorkerTracer, workers)
+	for i := range t.workers {
+		t.workers[i] = &WorkerTracer{id: int32(i)}
+	}
+}
+
+// Worker returns worker w's event buffer, or nil when the tracer is
+// nil or w is out of range — callers hold the returned value and call
+// its nil-safe methods without further checks.
+func (t *Tracer) Worker(w int) *WorkerTracer {
+	if t == nil || w < 0 || w >= len(t.workers) {
+		return nil
+	}
+	return t.workers[w]
+}
+
+// Now returns the offset from the trace origin. Safe on nil (zero).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+// Instant records a point event from any goroutine into the shared
+// lock-free ring: one atomic increment claims a slot, no locks. When
+// the ring is full the event is dropped and counted. Safe on nil.
+func (t *Tracer) Instant(name string, worker int32, value float64) {
+	if t == nil {
+		return
+	}
+	i := t.cur.Add(1) - 1
+	if i >= int64(len(t.ring)) {
+		t.dropped.Add(1)
+		return
+	}
+	t.ring[i] = Event{Kind: KindInstant, Name: name, Worker: worker, Start: t.Now(), Value: value}
+}
+
+// SchedCounter records a counter sample (e.g. ready-queue depth) from
+// the scheduler. Calls must be serialized by the caller (the runtime
+// emits them under its scheduler lock). Safe on nil.
+func (t *Tracer) SchedCounter(name string, ts time.Duration, value float64) {
+	if t == nil {
+		return
+	}
+	t.sched = append(t.sched, Event{Kind: KindCounter, Name: name, Worker: -1, Start: ts, Value: value})
+}
+
+// Dropped returns the number of instant events lost to ring overflow.
+// Safe on nil.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Events merges and time-orders the full stream. It must be called
+// after the traced execution has joined all its goroutines (the
+// runtime's Run has returned); the buffers are not synchronized for
+// concurrent readers. Safe on nil (returns nil).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := t.cur.Load()
+	if n > int64(len(t.ring)) {
+		n = int64(len(t.ring))
+	}
+	var out []Event
+	for _, w := range t.workers {
+		out = append(out, w.events...)
+	}
+	out = append(out, t.sched...)
+	out = append(out, t.ring[:n]...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// active is the process-wide tracer hook for instrumentation sites that
+// have no tracer handle threaded to them (the dense workspace pool).
+var active atomic.Pointer[Tracer]
+
+// Activate publishes tr as the process-wide active tracer. Pass the
+// tracer around explicitly where you can; Activate exists for leaf
+// packages whose call signatures predate tracing.
+func Activate(tr *Tracer) { active.Store(tr) }
+
+// Deactivate clears the process-wide tracer.
+func Deactivate() { active.Store(nil) }
+
+// Active returns the process-wide tracer, or nil. The lookup is one
+// atomic load, cheap enough for hot paths.
+func Active() *Tracer { return active.Load() }

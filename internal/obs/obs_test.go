@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansAndMerge(t *testing.T) {
+	tr := NewTracer()
+	tr.StartAt(time.Now(), 2)
+	w0, w1 := tr.Worker(0), tr.Worker(1)
+	w1.Span("trsm(0,1)", nil, 10*time.Millisecond, 5*time.Millisecond)
+	w0.Span("potrf(0)", &SpanInfo{K: 0, M: 0, N: 0, Flops: 42}, 0, 10*time.Millisecond)
+	tr.SchedCounter("ready_queue", 2*time.Millisecond, 3)
+	tr.Instant("pool_miss", -1, 1)
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("expected 4 events, got %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events not time-ordered: %v after %v", evs[i].Start, evs[i-1].Start)
+		}
+	}
+	if evs[0].Kind != KindSpan || evs[0].Name != "potrf(0)" || !evs[0].HasInfo || evs[0].Info.Flops != 42 {
+		t.Fatalf("span info lost: %+v", evs[0])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("unexpected drops: %d", tr.Dropped())
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	tr.StartAt(time.Now(), 4)
+	wt := tr.Worker(0)
+	wt.Span("x", nil, 0, 0)
+	wt.Instant("y", 0, 0)
+	tr.Instant("z", -1, 1)
+	tr.SchedCounter("q", 0, 0)
+	if tr.Events() != nil || tr.Dropped() != 0 || tr.Now() != 0 {
+		t.Fatalf("nil tracer should be inert")
+	}
+	live := NewTracer()
+	live.StartAt(time.Now(), 1)
+	if live.Worker(5) != nil || live.Worker(-1) != nil {
+		t.Fatalf("out-of-range worker must be nil")
+	}
+}
+
+func TestInstantRingConcurrentAndOverflow(t *testing.T) {
+	tr := NewTracer()
+	tr.StartAt(time.Now(), 1)
+	const writers, per = 8, 4096 // 8*4096 = 2x ring capacity
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Instant("e", int32(g), float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != defaultRingCap {
+		t.Fatalf("ring should hold exactly %d events, got %d", defaultRingCap, len(evs))
+	}
+	if got := tr.Dropped(); got != writers*per-defaultRingCap {
+		t.Fatalf("dropped = %d, want %d", got, writers*per-defaultRingCap)
+	}
+}
+
+// TestDisabledHotPathZeroAlloc pins the tentpole overhead contract: with
+// tracing off (nil tracer) and metrics held as direct pointers, the
+// instrumented hot path performs zero allocations. This is the gate
+// scripts/check.sh runs so instrumentation creep cannot silently tax
+// untraced runs.
+func TestDisabledHotPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	wt := tr.Worker(0)
+	reg := NewRegistry(4)
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", 4, 16, 64)
+	info := &SpanInfo{}
+	avg := testing.AllocsPerRun(1000, func() {
+		wt.Span("gemm(1,2,3)", info, 0, time.Microsecond)
+		tr.Instant("pool_miss", -1, 1)
+		tr.SchedCounter("ready_queue", 0, 1)
+		if a := Active(); a != nil {
+			a.Instant("x", -1, 1)
+		}
+		c.Add(3, 1)
+		g.Set(7)
+		h.Observe(2, 12)
+	})
+	if avg != 0 {
+		t.Fatalf("disabled hot path allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestActivate(t *testing.T) {
+	if Active() != nil {
+		t.Fatalf("no tracer should be active initially")
+	}
+	tr := NewTracer()
+	Activate(tr)
+	if Active() != tr {
+		t.Fatalf("Activate not visible")
+	}
+	Deactivate()
+	if Active() != nil {
+		t.Fatalf("Deactivate not visible")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[string]string{
+		"gemm(3,5,1)":        "gemm",
+		"potrf(2)/trsm(0,1)": "potrf",
+		"plain":              "plain",
+		"compress(1,0)":      "compress",
+	}
+	for in, want := range cases {
+		if got := ClassOf(in); got != want {
+			t.Fatalf("ClassOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tlrchol/internal/obs"
 )
 
 // Task is one node of the DAG. Create tasks through Graph.NewTask and
@@ -34,6 +36,12 @@ type Task struct {
 	// Run executes the task body. A non-nil error aborts the execution
 	// (in-flight tasks finish; pending ones are dropped).
 	Run func() error
+	// Info optionally annotates the task's trace span with kernel-level
+	// detail (tile coordinates, ranks, flops). Graph builders attach it
+	// only when a tracer is observing the graph; the task body may fill
+	// it in (e.g. with the rank the kernel produced) before returning —
+	// the span is emitted after the body completes.
+	Info *obs.SpanInfo
 
 	id        int
 	waits     int32 // remaining unfinished predecessors
@@ -50,6 +58,11 @@ type Task struct {
 // [0, Graph.Tasks()) and follow insertion order, which is the
 // sequential-semantics order the dependency structure must preserve.
 func (t *Task) ID() int { return t.id }
+
+// Worker returns the worker that executed (or is executing) the task.
+// It is set before the task body runs, so instrumented bodies may use
+// it as a metrics shard index; it is meaningless before execution.
+func (t *Task) Worker() int { return t.worker }
 
 // Successors returns the tasks that depend on t. The slice is owned by
 // the graph; callers must not modify it.
@@ -72,9 +85,16 @@ func (t *Task) DeclareAccesses(accesses ...Access) {
 
 // Graph is a task DAG under construction and its execution engine.
 type Graph struct {
-	tasks []*Task
-	edges int
+	tasks  []*Task
+	edges  int
+	tracer *obs.Tracer
 }
+
+// Observe attaches an event tracer to the graph: Run will emit one span
+// per executed task (into the executing worker's lock-free buffer) and
+// ready-queue depth counter samples. A nil tracer — the default — keeps
+// the worker loop's instrumentation on its zero-allocation no-op path.
+func (g *Graph) Observe(tr *obs.Tracer) { g.tracer = tr }
 
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph { return &Graph{} }
@@ -117,6 +137,10 @@ type Stats struct {
 	CriticalPathTasks int
 	// Workers is the worker count used.
 	Workers int
+	// MaxReady is the ready-queue high-water mark: the most tasks that
+	// were simultaneously runnable, an upper bound on the parallelism
+	// the DAG exposed to the scheduler.
+	MaxReady int
 }
 
 // runTask executes a task body, converting panics into errors so a
@@ -171,19 +195,30 @@ func (g *Graph) Run(workers int) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	start := time.Now()
+	tr := g.tracer
+	tr.StartAt(start, workers)
 	var (
-		mu      sync.Mutex
-		cond    = sync.Cond{L: &mu}
-		ready   readyQueue
-		seq     int64
-		pending = int64(len(g.tasks))
-		firstE  error
-		aborted bool
-		busyNs  int64
+		mu       sync.Mutex
+		cond     = sync.Cond{L: &mu}
+		ready    readyQueue
+		seq      int64
+		pending  = int64(len(g.tasks))
+		firstE   error
+		aborted  bool
+		busyNs   int64
+		maxReady int
 	)
+	// push and the pop site below run under mu, which also serializes
+	// the tracer's scheduler-counter buffer.
 	push := func(t *Task) {
 		heap.Push(&ready, &readyItem{t: t, seq: seq})
 		seq++
+		d := ready.Len()
+		if d > maxReady {
+			maxReady = d
+		}
+		tr.SchedCounter("ready_queue", time.Since(start), float64(d))
 	}
 	mu.Lock()
 	for _, t := range g.tasks {
@@ -192,13 +227,13 @@ func (g *Graph) Run(workers int) (Stats, error) {
 		}
 	}
 	mu.Unlock()
-	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wt := tr.Worker(w)
 			for {
 				mu.Lock()
 				for ready.Len() == 0 && atomic.LoadInt64(&pending) > 0 && !aborted {
@@ -210,6 +245,7 @@ func (g *Graph) Run(workers int) (Stats, error) {
 					return
 				}
 				it := heap.Pop(&ready).(*readyItem)
+				tr.SchedCounter("ready_queue", time.Since(start), float64(ready.Len()))
 				mu.Unlock()
 
 				t := it.t
@@ -220,6 +256,7 @@ func (g *Graph) Run(workers int) (Stats, error) {
 				err := runTask(t)
 				t.duration = time.Since(t0)
 				atomic.AddInt64(&busyNs, int64(t.duration))
+				wt.Span(t.Label, t.Info, t.startedAt, t.duration)
 
 				mu.Lock()
 				if err != nil && firstE == nil {
@@ -245,6 +282,7 @@ func (g *Graph) Run(workers int) (Stats, error) {
 		Elapsed:  time.Since(start),
 		BusyTime: time.Duration(busyNs),
 		Workers:  workers,
+		MaxReady: maxReady,
 	}
 	for _, t := range g.tasks {
 		if !t.ran {
@@ -280,4 +318,36 @@ func (g *Graph) Trace() []TaskRecord {
 		})
 	}
 	return out
+}
+
+// PathNodes exports the executed DAG with its realized schedule in the
+// form obs.CriticalPath analyzes: one node per executed task with its
+// start/finish times and executed predecessors (edges into tasks that
+// never ran — possible only on aborted executions — are dropped). Only
+// meaningful after Run.
+func (g *Graph) PathNodes() []obs.PathNode {
+	idx := make([]int32, len(g.tasks))
+	nodes := make([]obs.PathNode, 0, len(g.tasks))
+	for i, t := range g.tasks {
+		if !t.ran {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = int32(len(nodes))
+		nodes = append(nodes, obs.PathNode{
+			Label: t.Label, Worker: int32(t.worker),
+			Start: t.startedAt, Finish: t.startedAt + t.duration,
+		})
+	}
+	for i, t := range g.tasks {
+		if idx[i] < 0 {
+			continue
+		}
+		for _, s := range t.succs {
+			if j := idx[s.id]; j >= 0 {
+				nodes[j].Preds = append(nodes[j].Preds, idx[i])
+			}
+		}
+	}
+	return nodes
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tlrchol/internal/obs"
 )
 
 func TestLinearChainOrder(t *testing.T) {
@@ -257,5 +259,155 @@ func TestPanicIsContained(t *testing.T) {
 	}
 	if after.ran {
 		t.Fatalf("successor of a panicked task must not run")
+	}
+}
+
+// obsTestGraph builds a small diamond DAG with sleeping bodies, runs it
+// under a tracer and returns the graph, stats and tracer.
+func obsTestGraph(t *testing.T, workers int) (*Graph, Stats, *obs.Tracer) {
+	t.Helper()
+	g := NewGraph()
+	work := func() error { time.Sleep(time.Millisecond); return nil }
+	a := g.NewTask("potrf(0)", 3, work)
+	b := g.NewTask("trsm(0,1)", 2, work)
+	c := g.NewTask("trsm(0,2)", 2, work)
+	d := g.NewTask("syrk(0,1)", 1, work)
+	g.AddDep(a, b)
+	g.AddDep(a, c)
+	g.AddDep(b, d)
+	g.AddDep(c, d)
+	tr := obs.NewTracer()
+	g.Observe(tr)
+	st, err := g.Run(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, st, tr
+}
+
+// TestObserveEmitsSpans: a traced run emits exactly one span per
+// executed task, with the ready-queue counter track alongside.
+func TestObserveEmitsSpans(t *testing.T) {
+	_, st, tr := obsTestGraph(t, 2)
+	spans, counters := 0, 0
+	labels := map[string]bool{}
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.KindSpan:
+			spans++
+			labels[e.Name] = true
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has no duration", e.Name)
+			}
+		case obs.KindCounter:
+			counters++
+		}
+	}
+	if spans != st.Executed {
+		t.Fatalf("spans %d != executed %d", spans, st.Executed)
+	}
+	if !labels["potrf(0)"] || !labels["syrk(0,1)"] {
+		t.Fatalf("span labels missing: %v", labels)
+	}
+	// Every push and pop samples the queue depth: at least one of each
+	// per task.
+	if counters < 2*st.Executed {
+		t.Fatalf("too few ready-queue samples: %d", counters)
+	}
+}
+
+// TestMaxReadyHighWater: a graph whose source releases two tasks at
+// once must report a ready-queue high-water mark of at least 2.
+func TestMaxReadyHighWater(t *testing.T) {
+	_, st, _ := obsTestGraph(t, 1)
+	if st.MaxReady < 2 {
+		t.Fatalf("diamond fan-out should reach MaxReady >= 2, got %d", st.MaxReady)
+	}
+	if st.MaxReady > 4 {
+		t.Fatalf("MaxReady %d exceeds task count", st.MaxReady)
+	}
+}
+
+// TestPathNodes: the exported executed DAG carries the realized
+// schedule and the full predecessor structure.
+func TestPathNodes(t *testing.T) {
+	g, st, _ := obsTestGraph(t, 2)
+	nodes := g.PathNodes()
+	if len(nodes) != st.Executed {
+		t.Fatalf("%d nodes for %d executed tasks", len(nodes), st.Executed)
+	}
+	byLabel := map[string]obs.PathNode{}
+	for _, n := range nodes {
+		if n.Finish < n.Start {
+			t.Fatalf("node %q finishes before it starts", n.Label)
+		}
+		byLabel[n.Label] = n
+	}
+	if len(byLabel["syrk(0,1)"].Preds) != 2 {
+		t.Fatalf("join node should have 2 preds: %+v", byLabel["syrk(0,1)"])
+	}
+	if len(byLabel["potrf(0)"].Preds) != 0 {
+		t.Fatalf("source node should have no preds")
+	}
+	// Dependencies must be realized in time: every pred finished before
+	// its successor started.
+	for _, n := range nodes {
+		for _, p := range n.Preds {
+			if nodes[p].Finish > n.Start {
+				t.Fatalf("pred %q finished after %q started", nodes[p].Label, n.Label)
+			}
+		}
+	}
+	// And the critical-path analysis runs on the export.
+	cp := obs.CriticalPath(nodes)
+	if len(cp.Steps) != 3 {
+		t.Fatalf("diamond critical path should have 3 steps, got %d", len(cp.Steps))
+	}
+}
+
+// TestPathNodesDropsAborted: tasks that never ran (aborted execution)
+// are absent from the export, and edges into them are dropped.
+func TestPathNodesDropsAborted(t *testing.T) {
+	g := NewGraph()
+	a := g.NewTask("a", 0, func() error { return errors.New("boom") })
+	b := g.NewTask("b", 0, nil)
+	g.AddDep(a, b)
+	if _, err := g.Run(1); err == nil {
+		t.Fatal("expected error")
+	}
+	nodes := g.PathNodes()
+	if len(nodes) != 1 || nodes[0].Label != "a" {
+		t.Fatalf("only the ran task should be exported: %+v", nodes)
+	}
+}
+
+// TestTaskInfoReachesSpan: a task's Info annotation, filled in by the
+// body during execution, is copied into its span event.
+func TestTaskInfoReachesSpan(t *testing.T) {
+	g := NewGraph()
+	tk := g.NewTask("gemm(0,2,1)", 0, nil)
+	tk.Info = &obs.SpanInfo{K: 0, M: 2, N: 1}
+	tk.Run = func() error {
+		tk.Info.RankOut = 17
+		tk.Info.Flops = 12345
+		return nil
+	}
+	tr := obs.NewTracer()
+	g.Observe(tr)
+	if _, err := g.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	var span *obs.Event
+	for i := range evs {
+		if evs[i].Kind == obs.KindSpan {
+			span = &evs[i]
+		}
+	}
+	if span == nil || !span.HasInfo {
+		t.Fatalf("span missing info: %+v", evs)
+	}
+	if span.Info.M != 2 || span.Info.RankOut != 17 || span.Info.Flops != 12345 {
+		t.Fatalf("info not propagated: %+v", span.Info)
 	}
 }

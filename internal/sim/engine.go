@@ -9,6 +9,7 @@ import (
 
 	"tlrchol/internal/dist"
 	"tlrchol/internal/flops"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/runtime"
 )
 
@@ -54,6 +55,11 @@ type Result struct {
 	// Trace holds per-task records when Config.CollectTrace was set;
 	// Worker is the simulated process id and times are simulated time.
 	Trace []runtime.TaskRecord
+	// PathNodes is the executed DAG with its simulated schedule, in the
+	// form obs.CriticalPath analyzes — the same critical-path attribution
+	// report as real executions, over simulated time. Filled when
+	// Config.CollectTrace was set.
+	PathNodes []obs.PathNode
 }
 
 // LoadImbalance returns max/avg of per-process busy time.
@@ -88,6 +94,8 @@ const (
 	kSyrk
 	kGemm
 )
+
+var kindNames = [...]string{"potrf", "trsm", "syrk", "gemm"}
 
 type simTask struct {
 	kind    taskKind
@@ -376,7 +384,10 @@ func runEventLoop(tasks []simTask, w Workload, cfg Config, res *Result) {
 	// still consume dispatcher throughput.
 	rtFree := make([]float64, nprocs)
 	overhead := cfg.Machine.OverheadAt(cfg.Nodes)
-	kindName := [...]string{"potrf", "trsm", "syrk", "gemm"}
+	var startAt []float64
+	if cfg.CollectTrace {
+		startAt = make([]float64, len(tasks))
+	}
 	schedule := func(p int32, now float64) {
 		for free[p] > 0 && ready[p].Len() > 0 {
 			id := ready[p].popTask()
@@ -388,9 +399,10 @@ func runEventLoop(tasks []simTask, w Workload, cfg Config, res *Result) {
 			free[p]--
 			res.Busy[p] += overhead + tasks[id].cost
 			if cfg.CollectTrace {
+				startAt[id] = start + overhead
 				tk := &tasks[id]
 				res.Trace = append(res.Trace, runtime.TaskRecord{
-					Label:    fmt.Sprintf("%s(%d,%d,%d)", kindName[tk.kind], tk.k, tk.m, tk.n),
+					Label:    fmt.Sprintf("%s(%d,%d,%d)", kindNames[tk.kind], tk.k, tk.m, tk.n),
 					Worker:   int(p),
 					Start:    time.Duration((start + overhead) * 1e9),
 					Duration: time.Duration(tk.cost * 1e9),
@@ -482,6 +494,26 @@ func runEventLoop(tasks []simTask, w Workload, cfg Config, res *Result) {
 	}
 	res.Makespan = makespan
 	res.DAGCriticalPath = dagCriticalPath(tasks)
+	if cfg.CollectTrace {
+		// Export the executed DAG with its simulated schedule so the same
+		// obs.CriticalPath attribution runs on simulations as on real runs.
+		nodes := make([]obs.PathNode, len(tasks))
+		for i := range tasks {
+			tk := &tasks[i]
+			nodes[i] = obs.PathNode{
+				Label:  fmt.Sprintf("%s(%d,%d,%d)", kindNames[tk.kind], tk.k, tk.m, tk.n),
+				Worker: tk.proc,
+				Start:  time.Duration(startAt[i] * 1e9),
+				Finish: time.Duration((startAt[i] + tk.cost) * 1e9),
+			}
+		}
+		for i := range tasks {
+			for _, s := range tasks[i].succs {
+				nodes[s].Preds = append(nodes[s].Preds, int32(i))
+			}
+		}
+		res.PathNodes = nodes
+	}
 }
 
 // dagCriticalPath is the longest cost-weighted path; construction order

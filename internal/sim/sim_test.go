@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tlrchol/internal/dist"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/ranks"
 )
 
@@ -275,5 +276,43 @@ func TestCollectTrace(t *testing.T) {
 	cfg.CollectTrace = false
 	if r2 := Run(w, cfg); r2.Trace != nil {
 		t.Fatalf("trace collected without the flag")
+	}
+}
+
+// TestSimPathNodes: CollectTrace exports the simulated schedule as an
+// executed DAG whose critical-path analysis is consistent with the
+// simulated makespan.
+func TestSimPathNodes(t *testing.T) {
+	model := testModel(14)
+	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
+	cfg.CollectTrace = true
+	w := NewWorkload(model, &model, true)
+	r := Run(w, cfg)
+	if len(r.PathNodes) != r.Tasks {
+		t.Fatalf("%d path nodes for %d tasks", len(r.PathNodes), r.Tasks)
+	}
+	for _, n := range r.PathNodes {
+		for _, p := range n.Preds {
+			if r.PathNodes[p].Finish > n.Start {
+				t.Fatalf("pred %q finished after %q started", r.PathNodes[p].Label, n.Label)
+			}
+		}
+	}
+	cp := obs.CriticalPath(r.PathNodes)
+	if len(cp.Steps) == 0 {
+		t.Fatalf("empty critical path")
+	}
+	makespan := cp.Makespan.Seconds()
+	if makespan <= 0 || makespan > r.Makespan+1e-9 {
+		t.Fatalf("path makespan %g outside simulated makespan %g", makespan, r.Makespan)
+	}
+	// The path must be at least the cost-weighted DAG lower bound.
+	if cp.Work.Seconds() > r.Makespan {
+		t.Fatalf("path work %v exceeds makespan %g", cp.Work, r.Makespan)
+	}
+	// Without trace collection the export stays off.
+	cfg.CollectTrace = false
+	if r2 := Run(NewWorkload(model, &model, true), cfg); r2.PathNodes != nil {
+		t.Fatalf("PathNodes should be nil without CollectTrace")
 	}
 }

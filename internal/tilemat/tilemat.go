@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/runtime"
 	"tlrchol/internal/tlr"
 )
@@ -202,6 +203,18 @@ func (m *Matrix) Stats() RankStats {
 		st.Density = float64(nz) / float64(st.Tiles)
 	}
 	return st
+}
+
+// ObserveRanks records the rank of every off-diagonal lower-triangle
+// tile into h (Zero tiles observe as 0). Called before and after a
+// factorization on two histograms, it captures the rank-growth picture
+// of Fig 1 in the metrics registry.
+func (m *Matrix) ObserveRanks(h *obs.Histogram) {
+	for i := 1; i < m.NT; i++ {
+		for j := 0; j < i; j++ {
+			h.Observe(0, float64(m.tiles[i][j].Rank()))
+		}
+	}
 }
 
 // Bytes returns the current storage footprint of all tiles.

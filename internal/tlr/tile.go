@@ -17,6 +17,19 @@ import (
 	"math"
 
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
+)
+
+// Compression-outcome metrics: how often tiles compress (or round
+// back) to exact zeros is the rank structure DAG trimming feeds on, so
+// the kernels report it to the process-wide registry. Increments shard
+// on the workspace's goroutine-local shard — zero allocation, no
+// contention.
+var (
+	mCompressZero   = obs.Default.Counter("tlr.compress.zero")
+	mCompressLR     = obs.Default.Counter("tlr.compress.lowrank")
+	mRecompressCall = obs.Default.Counter("tlr.recompress.calls")
+	mRecompressZero = obs.Default.Counter("tlr.recompress.zero")
 )
 
 // Kind discriminates the storage format of a tile.
@@ -178,8 +191,10 @@ func Compress(a *dense.Matrix, tol float64, maxRank int) *Tile {
 func CompressWS(a *dense.Matrix, tol float64, maxRank int, ws *dense.Workspace) *Tile {
 	res := dense.QRCPWS(a, tol, maxRank, ws)
 	if res.Rank == 0 {
+		mCompressZero.Add(ws.Shard(), 1)
 		return NewZero(a.Rows, a.Cols)
 	}
+	mCompressLR.Add(ws.Shard(), 1)
 	// U = Q (rows×k), V = (R·Pᵀ)ᵀ (cols×k), copied out of the workspace.
 	u := res.Q.Clone()
 	v := dense.NewMatrix(a.Cols, res.Rank)
@@ -204,8 +219,10 @@ func Recompress(u, v *dense.Matrix, tol float64, maxRank int) *Tile {
 // core SVD and intermediate products) from ws. It never retains u or v;
 // the returned tile owns its factors and stays valid after ws.Release.
 func RecompressWS(u, v *dense.Matrix, tol float64, maxRank int, ws *dense.Workspace) *Tile {
+	mRecompressCall.Add(ws.Shard(), 1)
 	k := u.Cols
 	if k == 0 {
+		mRecompressZero.Add(ws.Shard(), 1)
 		return NewZero(u.Rows, v.Rows)
 	}
 	if k > u.Rows || k > v.Rows {
@@ -225,6 +242,7 @@ func RecompressWS(u, v *dense.Matrix, tol float64, maxRank int, ws *dense.Worksp
 		newK = maxRank
 	}
 	if newK == 0 {
+		mRecompressZero.Add(ws.Shard(), 1)
 		return NewZero(u.Rows, v.Rows)
 	}
 	// U = Qu·Us·diag(S), V = Qv·Vs.

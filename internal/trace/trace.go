@@ -3,6 +3,13 @@
 // an ASCII Gantt chart — the same kind of instrumentation-driven
 // analysis the authors use in their companion ProTools paper to study
 // TLR Cholesky executions.
+//
+// The package is a set of views over the structured event stream of
+// package obs: the runtime (or the simulator) produces events, the
+// Chrome exporter renders them for Perfetto, and the functions here
+// render the same stream as terminal text. Record-based entry points
+// (Analyze, Gantt) remain as shims over the event-based ones for
+// callers that hold []runtime.TaskRecord.
 package trace
 
 import (
@@ -11,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"tlrchol/internal/obs"
 	"tlrchol/internal/runtime"
 )
 
@@ -34,44 +42,59 @@ type Summary struct {
 
 // Class extracts the task class from a label: "gemm(3,5,1)" → "gemm",
 // "potrf(2)/trsm(0,1)" → "potrf".
-func Class(label string) string {
-	if i := strings.IndexAny(label, "(/"); i >= 0 {
-		return label[:i]
+func Class(label string) string { return obs.ClassOf(label) }
+
+// FromRecords converts runtime task records into the span events of the
+// obs stream, so record-holding callers reach the event-based analyses
+// and the Chrome exporter.
+func FromRecords(recs []runtime.TaskRecord) []obs.Event {
+	out := make([]obs.Event, len(recs))
+	for i, r := range recs {
+		out[i] = obs.Event{
+			Kind: obs.KindSpan, Name: r.Label, Worker: int32(r.Worker),
+			Start: r.Start, Dur: r.Duration,
+		}
 	}
-	return label
+	return out
 }
 
-// Analyze summarizes a trace. The output is deterministic for a given
-// trace: per-worker rows are indexed by worker ID and class stats are
+// AnalyzeEvents summarizes the span events of a stream (instants and
+// counters are ignored). The output is deterministic for a given
+// stream: per-worker rows are indexed by worker ID and class stats are
 // totally ordered (busiest first, class name breaking ties), so
 // repeated analyses of one trace render identically.
-func Analyze(recs []runtime.TaskRecord) Summary {
+func AnalyzeEvents(events []obs.Event) Summary {
 	var s Summary
 	maxW := -1
 	classes := map[string]*ClassStat{}
-	for _, r := range recs {
-		if end := r.Start + r.Duration; end > s.Makespan {
+	for _, e := range events {
+		if e.Kind != obs.KindSpan {
+			continue
+		}
+		if end := e.Start + e.Dur; end > s.Makespan {
 			s.Makespan = end
 		}
-		if r.Worker > maxW {
-			maxW = r.Worker
+		if int(e.Worker) > maxW {
+			maxW = int(e.Worker)
 		}
-		c := Class(r.Label)
+		c := Class(e.Name)
 		cs := classes[c]
 		if cs == nil {
 			cs = &ClassStat{Class: c}
 			classes[c] = cs
 		}
 		cs.Count++
-		cs.Total += r.Duration
-		if r.Duration > cs.Max {
-			cs.Max = r.Duration
+		cs.Total += e.Dur
+		if e.Dur > cs.Max {
+			cs.Max = e.Dur
 		}
 	}
 	s.Workers = maxW + 1
 	busy := make([]time.Duration, s.Workers)
-	for _, r := range recs {
-		busy[r.Worker] += r.Duration
+	for _, e := range events {
+		if e.Kind == obs.KindSpan && e.Worker >= 0 {
+			busy[e.Worker] += e.Dur
+		}
 	}
 	s.Utilization = make([]float64, s.Workers)
 	for w := 0; w < s.Workers; w++ {
@@ -92,6 +115,11 @@ func Analyze(recs []runtime.TaskRecord) Summary {
 	return s
 }
 
+// Analyze summarizes a record-based trace (shim over AnalyzeEvents).
+func Analyze(recs []runtime.TaskRecord) Summary {
+	return AnalyzeEvents(FromRecords(recs))
+}
+
 // String renders the summary.
 func (s Summary) String() string {
 	var sb strings.Builder
@@ -106,22 +134,30 @@ func (s Summary) String() string {
 	return sb.String()
 }
 
-// Gantt renders an ASCII timeline: one row per worker, width columns,
-// each cell showing the class initial of the task occupying that time
-// slot ('.' = idle). Useful for eyeballing pipeline stalls and
-// critical-path bubbles.
-func Gantt(recs []runtime.TaskRecord, width int) string {
+// GanttEvents renders the span events of a stream as an ASCII timeline:
+// one row per worker, width columns, each cell showing the class
+// initial of the task occupying that time slot ('.' = idle). Useful for
+// eyeballing pipeline stalls and critical-path bubbles.
+//
+// Every span paints at least one cell: a zero-duration task (or one
+// shorter than a column) shows as a single mark rather than vanishing,
+// and a task starting at the very end of the makespan lands in the last
+// column instead of being clamped off the chart.
+func GanttEvents(events []obs.Event, width int) string {
 	if width < 10 {
 		width = 10
 	}
 	var makespan time.Duration
 	maxW := 0
-	for _, r := range recs {
-		if end := r.Start + r.Duration; end > makespan {
+	for _, e := range events {
+		if e.Kind != obs.KindSpan || e.Worker < 0 {
+			continue
+		}
+		if end := e.Start + e.Dur; end > makespan {
 			makespan = end
 		}
-		if r.Worker > maxW {
-			maxW = r.Worker
+		if int(e.Worker) > maxW {
+			maxW = int(e.Worker)
 		}
 	}
 	if makespan == 0 {
@@ -131,19 +167,31 @@ func Gantt(recs []runtime.TaskRecord, width int) string {
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
-	for _, r := range recs {
-		c := Class(r.Label)
+	for _, e := range events {
+		if e.Kind != obs.KindSpan || e.Worker < 0 {
+			continue
+		}
+		c := Class(e.Name)
 		ch := byte('?')
 		if len(c) > 0 {
 			ch = c[0]
 		}
-		from := int(int64(r.Start) * int64(width) / int64(makespan))
-		to := int(int64(r.Start+r.Duration) * int64(width) / int64(makespan))
+		from := int(int64(e.Start) * int64(width) / int64(makespan))
+		to := int(int64(e.Start+e.Dur) * int64(width) / int64(makespan))
+		// Clamp into [0, width) and guarantee at least one cell: a span
+		// starting exactly at the makespan would otherwise compute
+		// from == width and paint nothing.
+		if from >= width {
+			from = width - 1
+		}
 		if to >= width {
 			to = width - 1
 		}
+		if to < from {
+			to = from
+		}
 		for x := from; x <= to; x++ {
-			rows[r.Worker][x] = ch
+			rows[e.Worker][x] = ch
 		}
 	}
 	var sb strings.Builder
@@ -151,4 +199,9 @@ func Gantt(recs []runtime.TaskRecord, width int) string {
 		fmt.Fprintf(&sb, "w%-2d |%s|\n", w, row)
 	}
 	return sb.String()
+}
+
+// Gantt renders a record-based trace (shim over GanttEvents).
+func Gantt(recs []runtime.TaskRecord, width int) string {
+	return GanttEvents(FromRecords(recs), width)
 }

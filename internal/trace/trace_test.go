@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tlrchol/internal/obs"
 	"tlrchol/internal/runtime"
 )
 
@@ -85,6 +86,47 @@ func TestGanttEmpty(t *testing.T) {
 	}
 }
 
+// TestGanttZeroDuration pins the regression where short or
+// zero-duration tasks vanished from the chart: a span at the very end
+// of the makespan computed a start column == width and painted no
+// cells. Every task must paint at least one cell, and the last column
+// must be reachable.
+func TestGanttZeroDuration(t *testing.T) {
+	recs := []runtime.TaskRecord{
+		rec("potrf(0)", 0, 0, 10*time.Millisecond),
+		// Zero-duration join task exactly at the makespan.
+		rec("join(0)", 1, 10*time.Millisecond, 0),
+		// Sub-column task in the middle of the run.
+		rec("trsm(0,1)", 1, 5*time.Millisecond, time.Microsecond),
+	}
+	g := Gantt(recs, 20)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 worker rows:\n%s", g)
+	}
+	if !strings.Contains(lines[1], "j") {
+		t.Fatalf("zero-duration task at makespan end not painted:\n%s", g)
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[1], "|"), "j") {
+		t.Fatalf("end-of-run task should land in the last column:\n%s", g)
+	}
+	if !strings.Contains(lines[1], "t") {
+		t.Fatalf("sub-column task not painted:\n%s", g)
+	}
+}
+
+// TestGanttLastColumnReachable: a task filling the whole makespan must
+// reach the last column (the pre-fix clamp made column width-1
+// unreachable for spans ending at the makespan).
+func TestGanttLastColumnReachable(t *testing.T) {
+	recs := []runtime.TaskRecord{rec("gemm(0,1,0)", 0, 0, 8*time.Millisecond)}
+	g := Gantt(recs, 16)
+	row := strings.TrimRight(strings.Split(g, "\n")[0], "|\n")
+	if strings.Contains(row, ".") {
+		t.Fatalf("full-makespan task should fill every column:\n%s", g)
+	}
+}
+
 func TestEndToEndWithRuntime(t *testing.T) {
 	g := runtime.NewGraph()
 	a := g.NewTask("potrf(0)", 2, func() error { time.Sleep(time.Millisecond); return nil })
@@ -103,6 +145,29 @@ func TestEndToEndWithRuntime(t *testing.T) {
 	}
 	if Gantt(recs, 30) == "" {
 		t.Fatalf("gantt should render")
+	}
+}
+
+// TestEventViews checks the event-based entry points directly: spans
+// mix with counter and instant events (as in a real obs stream), and
+// the non-span events must not disturb the analysis or the chart.
+func TestEventViews(t *testing.T) {
+	evs := []obs.Event{
+		{Kind: obs.KindSpan, Name: "potrf(0)", Worker: 0, Start: 0, Dur: 10 * time.Millisecond},
+		{Kind: obs.KindCounter, Name: "ready_queue", Worker: -1, Start: time.Millisecond, Value: 3},
+		{Kind: obs.KindSpan, Name: "trsm(0,1)", Worker: 1, Start: 10 * time.Millisecond, Dur: 10 * time.Millisecond},
+		{Kind: obs.KindInstant, Name: "pool_miss", Worker: -1, Start: 2 * time.Millisecond, Value: 1},
+	}
+	s := AnalyzeEvents(evs)
+	if s.Makespan != 20*time.Millisecond || s.Workers != 2 {
+		t.Fatalf("event analysis wrong: %+v", s)
+	}
+	g := GanttEvents(evs, 20)
+	if !strings.Contains(g, "p") || !strings.Contains(g, "t") {
+		t.Fatalf("event gantt missing spans:\n%s", g)
+	}
+	if strings.Contains(g, "r") {
+		t.Fatalf("counter events must not paint cells:\n%s", g)
 	}
 }
 

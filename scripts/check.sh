@@ -17,11 +17,22 @@ go vet ./...
 echo "== concurrency lint (cmd/lint)"
 go run ./cmd/lint ./...
 
-echo "== race-detector tests (runtime, ptg, verify)"
-go test -race ./internal/runtime ./internal/ptg ./internal/verify
+echo "== race-detector tests (runtime, ptg, verify, obs)"
+go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs
 
 echo "== full test suite"
 go test ./...
+
+echo "== observability smoke gate"
+# The tracing-off hot path must stay allocation-free, and a traced run
+# must export a valid Chrome trace covering every executed task.
+go test -run 'TestDisabledHotPathZeroAlloc' ./internal/obs
+go test -run 'TestObsSmoke' .
+obs_trace="$(mktemp /tmp/tlrchol-trace.XXXXXX.json)"
+trap 'rm -f "$obs_trace"' EXIT
+go run ./cmd/tlrchol -n 1024 -b 128 -verify=false -trace-out "$obs_trace" > /dev/null
+grep -q '"traceEvents"' "$obs_trace" || {
+    echo "check.sh: trace-out produced no traceEvents" >&2; exit 1; }
 
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
