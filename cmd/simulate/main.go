@@ -33,6 +33,29 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON of the simulated schedule (event engine only)")
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *nodes <= 0 {
+		fail("-nodes must be positive, got %d", *nodes)
+	}
+	if *n <= 0 {
+		fail("-n must be positive, got %d", *n)
+	}
+	if *b <= 0 {
+		fail("-b must be positive, got %d", *b)
+	}
+	if *b > *n {
+		fail("-b (%d) must not exceed -n (%d)", *b, *n)
+	}
+	if *tol <= 0 {
+		fail("-tol must be positive, got %g", *tol)
+	}
+	if *delta <= 0 {
+		fail("-delta must be positive, got %g", *delta)
+	}
+
 	var machine sim.Machine
 	switch *machineName {
 	case "shaheen":
@@ -85,7 +108,12 @@ func main() {
 		fmt.Println("engine: analytic estimator (Lorapo storage model)")
 	case useEvent:
 		w := sim.NewWorkload(model, &model, *trimOn)
-		r = sim.Run(w, cfg)
+		var err error
+		r, err = sim.Run(w, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Println("engine: discrete-event simulator")
 	default:
 		r = sim.Estimate(model, cfg, sim.EstOptions{Trimmed: *trimOn})

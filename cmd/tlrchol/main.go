@@ -18,12 +18,34 @@ import (
 
 	"tlrchol/internal/core"
 	"tlrchol/internal/dense"
+	"tlrchol/internal/dist"
 	"tlrchol/internal/obs"
+	"tlrchol/internal/ranks"
 	"tlrchol/internal/rbf"
+	"tlrchol/internal/sim"
 	"tlrchol/internal/tilemat"
 	"tlrchol/internal/trace"
 	sverify "tlrchol/internal/verify"
 )
+
+// distRemap maps a -dist name to the paper's distributions over the
+// squarest P×Q grid for the node count: plain 2DBC, the Lorapo hybrid,
+// and the band / diamond execution remaps of Section VII (data stays
+// 2DBC; band and band+diamond give the executing ranks).
+func distRemap(name string, nodes int) (dist.Remap, error) {
+	p, q := dist.Grid(nodes)
+	switch name {
+	case "2dbc":
+		return dist.Remap{Data: dist.TwoDBC{P: p, Q: q}}, nil
+	case "lorapo":
+		return dist.Remap{Data: dist.NewHybrid(p, q, 1)}, nil
+	case "band":
+		return dist.Remap{Data: dist.TwoDBC{P: p, Q: q}, Exec: dist.NewBand(p, q)}, nil
+	case "diamond":
+		return dist.Remap{Data: dist.TwoDBC{P: p, Q: q}, Exec: dist.BandDiamond(p, q)}, nil
+	}
+	return dist.Remap{}, fmt.Errorf("unknown distribution %q (want 2dbc, lorapo, band or diamond)", name)
+}
 
 func main() {
 	n := flag.Int("n", 2048, "matrix size (number of boundary mesh points)")
@@ -41,7 +63,46 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON file of the execution")
 	showMetrics := flag.Bool("metrics", false, "print the metrics registry (counters, gauges, histograms) after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	nodes := flag.Int("nodes", 0, "virtual cluster nodes for distributed execution (0 = shared memory)")
+	distName := flag.String("dist", "2dbc", "distribution for -nodes: 2dbc, lorapo, band or diamond")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tlrchol: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fail("-n must be positive, got %d", *n)
+	}
+	if *b <= 0 {
+		fail("-b must be positive, got %d", *b)
+	}
+	if *b > *n {
+		fail("-b (%d) must not exceed -n (%d)", *b, *n)
+	}
+	if *tol <= 0 || math.IsNaN(*tol) {
+		fail("-tol must be positive, got %g", *tol)
+	}
+	if *workers < 0 {
+		fail("-workers must be ≥ 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *nested < 0 {
+		fail("-nested must be ≥ 0 (0 = off), got %d", *nested)
+	}
+	if *nodes < 0 {
+		fail("-nodes must be ≥ 0 (0 = shared memory), got %d", *nodes)
+	}
+	if *nodes > 0 {
+		if _, err := distRemap(*distName, *nodes); err != nil {
+			fail("%v", err)
+		}
+		if *seq {
+			fail("-nodes and -sequential are mutually exclusive")
+		}
+		if *nested > 0 {
+			fail("-nested is not supported under -nodes (diagonal tiles are single tasks per node)")
+		}
+	}
 
 	if *pprofAddr != "" {
 		expvar.Publish("tlrchol.metrics", expvar.Func(func() any { return obs.Default.Map() }))
@@ -120,21 +181,61 @@ func main() {
 			obs.Activate(tr)
 		}
 	}
-	rep, err := core.Factorize(m, core.Options{
-		Tol: *tol, Trim: *trim, Workers: *workers, Sequential: *seq,
-		NestedDiag: *nested, CollectTrace: *showTrace && !*seq,
-		Tracer: tr, CritPath: (*showTrace || *traceOut != "") && !*seq,
-	})
-	obs.Deactivate()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "factorization failed: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("factorization: %v  tasks potrf/trsm/syrk/gemm = %d/%d/%d/%d\n",
-		rep.Elapsed.Round(time.Millisecond), rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm)
-	if *trim {
-		fmt.Printf("trimming analysis: %v, %.1f KB\n",
-			rep.Analysis.Round(time.Microsecond), float64(rep.AnalysisBytes)/1e3)
+	var rep core.Report
+	var err error
+	if *nodes > 0 {
+		remap, _ := distRemap(*distName, *nodes)
+		// Predict the communication of this exact configuration from the
+		// pre-factorization rank structure, before execution mutates it.
+		w := sim.NewWorkload(ranks.FromMatrix{M: m}, nil, *trim)
+		pred, perr := sim.Run(w, sim.Config{Machine: sim.ShaheenII, Nodes: *nodes, Remap: remap})
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "sim prediction failed: %v\n", perr)
+			os.Exit(1)
+		}
+		comm := obs.NewCommTracker(*nodes)
+		var drep core.DistReport
+		drep, err = core.FactorizeDistributed(m, core.DistOptions{
+			Tol: *tol, Trim: *trim, Nodes: *nodes, WorkersPerNode: *workers,
+			Remap: remap, Tracer: tr, Comm: comm,
+		})
+		obs.Deactivate()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "factorization failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("distributed factorization: %v on %d nodes × %d workers (%s)  tasks potrf/trsm/syrk/gemm = %d/%d/%d/%d\n",
+			drep.Elapsed.Round(time.Millisecond), *nodes, drep.Cluster.Workers, *distName,
+			drep.Potrf, drep.Trsm, drep.Syrk, drep.Gemm)
+		if *trim {
+			fmt.Printf("trimming analysis: %v\n", drep.Analysis.Round(time.Microsecond))
+		}
+		fmt.Print(drep.Cluster.Comm.String())
+		meas := drep.Cluster.Comm.Totals()
+		fmt.Printf("measured comm volume: %d msgs, %.2f MB moved (%.2f MB remap ship)\n",
+			meas.MsgsSent, float64(meas.BytesSent)/1e6, float64(meas.ShipBytes)/1e6)
+		fmt.Printf("sim prediction (%s): %d msgs, %.2f MB moved (%.2f MB remap ship)\n",
+			sim.ShaheenII.Name, pred.Msgs, pred.CommVolume/1e6, pred.ShipVolume/1e6)
+		rep.EffFlops, rep.DenseFlops = drep.EffFlops, drep.DenseFlops
+		rep.TasksExecuted = drep.Cluster.Executed
+		rep.TasksTrimmed = drep.TasksTrimmed
+	} else {
+		rep, err = core.Factorize(m, core.Options{
+			Tol: *tol, Trim: *trim, Workers: *workers, Sequential: *seq,
+			NestedDiag: *nested, CollectTrace: *showTrace && !*seq,
+			Tracer: tr, CritPath: (*showTrace || *traceOut != "") && !*seq,
+		})
+		obs.Deactivate()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "factorization failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("factorization: %v  tasks potrf/trsm/syrk/gemm = %d/%d/%d/%d\n",
+			rep.Elapsed.Round(time.Millisecond), rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm)
+		if *trim {
+			fmt.Printf("trimming analysis: %v, %.1f KB\n",
+				rep.Analysis.Round(time.Microsecond), float64(rep.AnalysisBytes)/1e3)
+		}
 	}
 	// The data-sparsity summary is the paper's headline number; print it
 	// on every run, traced or not.
@@ -148,7 +249,7 @@ func main() {
 	fmt.Printf("final structure: density=%.3f  ranks max/avg/min = %d/%.1f/%d\n",
 		final.Density, final.Max, final.Avg, final.Min)
 	m.ObserveRanks(obs.Default.Histogram("tilerank.after", rankBounds...))
-	if !*seq {
+	if !*seq && *nodes == 0 {
 		obs.Default.Gauge("sched.ready.highwater").Set(int64(rep.Runtime.MaxReady))
 	}
 

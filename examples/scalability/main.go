@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"tlrchol/internal/dist"
 	"tlrchol/internal/ranks"
@@ -28,7 +29,11 @@ func main() {
 		Remap: dist.Remap{Data: dist.TwoDBC{P: p, Q: q}, Exec: dist.BandDiamond(p, q)},
 	}
 	w := sim.NewWorkload(model, &model, true)
-	r := sim.Run(w, cfg)
+	r, err := sim.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("makespan %.1fs | %d tasks | %.1f GB moved in %d messages | imbalance %.2f | efficiency %.0f%%\n",
 		r.Makespan, r.Tasks, r.CommVolume/1e9, r.Msgs, r.LoadImbalance(), 100*r.Efficiency())
 

@@ -245,7 +245,10 @@ func TestSimulatorEndToEnd(t *testing.T) {
 		Remap: dist.Remap{Data: dist.TwoDBC{P: p, Q: q}, Exec: dist.BandDiamond(p, q)},
 	}
 	w := sim.NewWorkload(model, &model, true)
-	r := sim.Run(w, cfg)
+	r, err := sim.Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Makespan <= 0 || r.Efficiency() <= 0.2 {
 		t.Fatalf("implausible simulation: %+v", r)
 	}

@@ -1,0 +1,509 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlrchol/internal/dist"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tlr"
+)
+
+// Config selects the virtual cluster for one distributed execution.
+type Config struct {
+	// Nodes is the number of virtual nodes (processes). Must equal
+	// Remap.Size().
+	Nodes int
+	// WorkersPerNode is each node's worker-goroutine pool size
+	// (≤ 0 selects 1).
+	WorkersPerNode int
+	// Remap pairs the data distribution (tile ownership) with the
+	// execution distribution; a nil Exec means owner-computes.
+	Remap dist.Remap
+	// Tracer, if non-nil, receives one span per executed task on the
+	// executing node's worker track plus one comm span per processed
+	// message on the node's dedicated comm track.
+	Tracer *obs.Tracer
+	// Comm, if non-nil, accumulates the per-node message/byte counters.
+	Comm *obs.CommTracker
+}
+
+// Validate reports configuration errors as usable messages.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Remap.Data == nil {
+		return fmt.Errorf("cluster: Remap.Data distribution is nil")
+	}
+	if c.Remap.Size() != c.Nodes {
+		return fmt.Errorf("cluster: Nodes=%d but distribution %q has %d processes",
+			c.Nodes, c.Remap.Data.Name(), c.Remap.Size())
+	}
+	return nil
+}
+
+// NodeStats reports one node's execution share.
+type NodeStats struct {
+	// Tasks is the number of tasks the node executed; Busy their summed
+	// execution time across the node's workers.
+	Tasks int
+	Busy  time.Duration
+}
+
+// Stats reports what happened during a distributed Run.
+type Stats struct {
+	// Elapsed is the wall-clock makespan.
+	Elapsed time.Duration
+	// Executed is the number of tasks that ran across all nodes.
+	Executed int
+	// Workers is the per-node worker-pool size used.
+	Workers int
+	// PerNode breaks execution down by node.
+	PerNode []NodeStats
+	// Comm is the communication snapshot (empty when Config.Comm nil).
+	Comm obs.CommSnapshot
+}
+
+// Message kinds of the typed comm engine.
+type msgKind uint8
+
+const (
+	// msgTile carries a freshly produced tile version to nodes hosting
+	// dependent tasks, along a binomial broadcast tree.
+	msgTile msgKind = iota
+	// msgShip is the remap ship-in: a tile's initial content moving from
+	// its owner to the (different) executing node before the first
+	// writing task.
+	msgShip
+	// msgWriteback returns a remapped tile's final value from its
+	// executing node to its owner after the last write.
+	msgWriteback
+)
+
+var msgKindNames = [...]string{"recv", "ship", "writeback"}
+
+// bcastDest is one broadcast destination: the node and the tasks there
+// whose dependency this message satisfies.
+type bcastDest struct {
+	node     int32
+	releases []int32
+}
+
+// msg is one unit on the wire. Payloads are cloned at every send, so no
+// two nodes ever share mutable tile state — the stores stay private.
+type msg struct {
+	kind    msgKind
+	id      TileID
+	payload *tlr.Tile
+	from    int32
+	// releases lists task ids on the destination node unblocked by this
+	// message; subtree the broadcast destinations the receiver must
+	// forward the payload to.
+	releases []int32
+	subtree  []bcastDest
+}
+
+// node is one virtual process: a private tile store, an inbox, a ready
+// queue and a worker pool.
+type node struct {
+	id    int32
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready readyQueue
+	seq   int64
+	inbox chan msg
+
+	storeMu sync.RWMutex
+	store   map[TileID]*tlr.Tile
+
+	busyNs   atomic.Int64
+	tasksRun atomic.Int64
+}
+
+func (n *node) getTile(id TileID) *tlr.Tile {
+	n.storeMu.RLock()
+	t := n.store[id]
+	n.storeMu.RUnlock()
+	return t
+}
+
+func (n *node) setTile(id TileID, t *tlr.Tile) {
+	n.storeMu.Lock()
+	n.store[id] = t
+	n.storeMu.Unlock()
+}
+
+// engine is one Run's execution state.
+type engine struct {
+	g        *Graph
+	cfg      Config
+	nodes    []*node
+	start    time.Time
+	pending  atomic.Int64
+	aborted  atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+	// inflight counts sent-but-unprocessed messages; waiting for it
+	// after the workers join guarantees the comm engines are quiescent
+	// (no sends can originate outside message processing), making the
+	// inbox close race-free.
+	inflight sync.WaitGroup
+	workerWg sync.WaitGroup
+	commWg   sync.WaitGroup
+}
+
+// Run executes the graph on the virtual cluster. seed maps every tile
+// to its initial content; the engine scatters clones to the owner
+// nodes, runs the DAG with remap shipping, and — on success — returns
+// the final owner-side tiles. Run may be called once per graph.
+func (g *Graph) Run(seed map[TileID]*tlr.Tile, cfg Config) (Stats, map[TileID]*tlr.Tile, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, nil, err
+	}
+	if cfg.WorkersPerNode <= 0 {
+		cfg.WorkersPerNode = 1
+	}
+	P, W := cfg.Nodes, cfg.WorkersPerNode
+
+	e := &engine{g: g, cfg: cfg, start: time.Now()}
+	e.pending.Store(int64(len(g.tasks)))
+	// Tracks: node i worker j → i·W+j; node i's comm engine → P·W+i.
+	cfg.Tracer.StartAt(e.start, P*W+P)
+
+	// Assign executing nodes and locate each tile's first/last writer.
+	firstWriter := make(map[TileID]*Task)
+	lastWriter := make(map[TileID]*Task)
+	for _, t := range g.tasks {
+		ex := cfg.Remap.ExecRankOf(t.Writes.M, t.Writes.N)
+		if ex < 0 || ex >= P {
+			return Stats{}, nil, fmt.Errorf("cluster: ExecRankOf(%d,%d) = %d out of range [0,%d)",
+				t.Writes.M, t.Writes.N, ex, P)
+		}
+		t.exec = int32(ex)
+		if firstWriter[t.Writes] == nil {
+			firstWriter[t.Writes] = t
+		}
+		lastWriter[t.Writes] = t
+	}
+
+	// Build the nodes and scatter the seed tiles to their owners.
+	e.nodes = make([]*node, P)
+	capMsgs := g.edges + 2*len(seed) + 8
+	for i := range e.nodes {
+		n := &node{id: int32(i), inbox: make(chan msg, capMsgs), store: make(map[TileID]*tlr.Tile)}
+		n.cond = sync.NewCond(&n.mu)
+		e.nodes[i] = n
+	}
+	for id, t := range seed {
+		owner := cfg.Remap.OwnerRankOf(id.M, id.N)
+		if owner < 0 || owner >= P {
+			return Stats{}, nil, fmt.Errorf("cluster: OwnerRankOf(%d,%d) = %d out of range [0,%d)",
+				id.M, id.N, owner, P)
+		}
+		e.nodes[owner].store[id] = t.Clone()
+	}
+
+	// Remap shipping plan: tiles whose writes execute away from their
+	// owner get their initial content shipped in before the first
+	// writer runs (and the first writer gains one extra wait), and the
+	// final value shipped back after the last writer. Zero tiles (fill-
+	// in targets) materialize directly at the executor: there is
+	// nothing to ship, matching the simulator's accounting.
+	type shipRec struct {
+		owner int32
+		m     msg
+	}
+	var ships []shipRec
+	for id, ft := range firstWriter {
+		owner := int32(cfg.Remap.OwnerRankOf(id.M, id.N))
+		if ft.exec == owner {
+			continue
+		}
+		st := e.nodes[owner].store[id]
+		if st == nil {
+			return Stats{}, nil, fmt.Errorf("cluster: task %s writes unseeded tile (%d,%d)", ft.Label, id.M, id.N)
+		}
+		if st.Kind == tlr.Zero {
+			// Fill-in target: nothing to ship in, but the filled value
+			// must still return to the owner after the last write.
+			e.nodes[ft.exec].store[id] = tlr.NewZero(st.Rows, st.Cols)
+			lastWriter[id].wbAfter = true
+			continue
+		}
+		ft.waits++
+		ships = append(ships, shipRec{owner: owner,
+			m: msg{kind: msgShip, id: id, payload: st.Clone(), releases: []int32{ft.id}}})
+		lastWriter[id].wbAfter = true
+	}
+	// Deterministic ship order (map iteration above is not).
+	sort.Slice(ships, func(i, j int) bool {
+		a, b := ships[i].m.id, ships[j].m.id
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.M < b.M
+	})
+
+	// Seed the ready queues before any goroutine starts.
+	for _, t := range g.tasks {
+		if t.waits == 0 {
+			n := e.nodes[t.exec]
+			heap.Push(&n.ready, &readyItem{t: t, seq: n.seq})
+			n.seq++
+		}
+	}
+
+	// Launch the comm engines and worker pools.
+	for i := 0; i < P; i++ {
+		n := e.nodes[i]
+		e.commWg.Add(1)
+		go e.commLoop(n, P*W+i)
+		for w := 0; w < W; w++ {
+			e.workerWg.Add(1)
+			go e.worker(n, i*W+w)
+		}
+	}
+
+	// The owners ship the remapped tiles (the t=0 sends of the run).
+	for _, s := range ships {
+		e.send(e.nodes[s.owner], e.g.tasks[s.m.releases[0]].exec, s.m, true)
+	}
+
+	e.workerWg.Wait()
+	// Drain the comm engines: every sent message processed, then the
+	// inboxes can close with no senders left.
+	e.inflight.Wait()
+	for _, n := range e.nodes {
+		close(n.inbox)
+	}
+	e.commWg.Wait()
+
+	st := Stats{
+		Elapsed: time.Since(e.start),
+		Workers: W,
+		PerNode: make([]NodeStats, P),
+		Comm:    cfg.Comm.Snapshot(),
+	}
+	for i, n := range e.nodes {
+		st.PerNode[i] = NodeStats{Tasks: int(n.tasksRun.Load()), Busy: time.Duration(n.busyNs.Load())}
+		st.Executed += st.PerNode[i].Tasks
+	}
+	e.errMu.Lock()
+	err := e.firstErr
+	e.errMu.Unlock()
+	if err != nil {
+		return st, nil, err
+	}
+	// Gather: the owner stores now hold every tile's final value (local
+	// writes landed in place; remapped writes arrived via write-back).
+	out := make(map[TileID]*tlr.Tile, len(seed))
+	for id := range seed {
+		owner := cfg.Remap.OwnerRankOf(id.M, id.N)
+		out[id] = e.nodes[owner].store[id]
+	}
+	return st, out, nil
+}
+
+// finished reports whether workers should stop waiting: the DAG
+// drained or the run aborted.
+func (e *engine) finished() bool {
+	return e.aborted.Load() || e.pending.Load() == 0
+}
+
+// wakeAll wakes every node's workers so they can observe a terminal
+// state. Locking each node's mutex orders the flag write before the
+// broadcast for any worker mid-predicate.
+func (e *engine) wakeAll() {
+	for _, n := range e.nodes {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+}
+
+// worker is one goroutine of a node's pool.
+func (e *engine) worker(n *node, track int) {
+	defer e.workerWg.Done()
+	wt := e.cfg.Tracer.Worker(track)
+	for {
+		n.mu.Lock()
+		for n.ready.Len() == 0 && !e.finished() {
+			n.cond.Wait()
+		}
+		if e.aborted.Load() || n.ready.Len() == 0 {
+			n.mu.Unlock()
+			return
+		}
+		it := heap.Pop(&n.ready).(*readyItem)
+		n.mu.Unlock()
+
+		t := it.t
+		t.ran = true
+		startedAt := time.Since(e.start)
+		t0 := time.Now()
+		err := runTask(t, &Ctx{node: n, track: track})
+		d := time.Since(t0)
+		n.busyNs.Add(int64(d))
+		n.tasksRun.Add(1)
+		wt.Span(t.Label, t.Info, startedAt, d)
+		e.complete(n, t, err)
+	}
+}
+
+// runTask executes a task body, converting panics into errors so a
+// crashing kernel aborts the distributed run cleanly.
+func runTask(t *Task, ctx *Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if t.Run == nil {
+		return nil
+	}
+	return t.Run(ctx)
+}
+
+// complete releases t's successors — locally by counter decrement,
+// remotely by a broadcast of the written tile — and handles remap
+// write-back and termination.
+func (e *engine) complete(n *node, t *Task, err error) {
+	if err != nil {
+		e.errMu.Lock()
+		if e.firstErr == nil {
+			e.firstErr = fmt.Errorf("node %d: task %s: %w", n.id, t.Label, err)
+		}
+		e.errMu.Unlock()
+		e.aborted.Store(true)
+		e.pending.Add(-1)
+		e.wakeAll()
+		return
+	}
+
+	var localReady []*Task
+	var remote map[int32][]int32
+	for _, si := range t.succs {
+		s := e.g.tasks[si]
+		if s.exec == n.id {
+			if atomic.AddInt32(&s.waits, -1) == 0 {
+				localReady = append(localReady, s)
+			}
+			continue
+		}
+		if remote == nil {
+			remote = make(map[int32][]int32, 4)
+		}
+		remote[s.exec] = append(remote[s.exec], si)
+	}
+	if !e.aborted.Load() {
+		// Remote sends clone the written tile, so they must complete
+		// before any local successor — possibly the tile's next writer —
+		// is released and can mutate it.
+		if remote != nil {
+			dests := make([]bcastDest, 0, len(remote))
+			for nd, rel := range remote {
+				dests = append(dests, bcastDest{node: nd, releases: rel})
+			}
+			sort.Slice(dests, func(i, j int) bool { return dests[i].node < dests[j].node })
+			e.cfg.Comm.Bcast(int(n.id), len(dests))
+			e.bcast(n, t.Writes, n.getTile(t.Writes), dests)
+		}
+		if t.wbAfter {
+			owner := int32(e.cfg.Remap.OwnerRankOf(t.Writes.M, t.Writes.N))
+			e.send(n, owner, msg{kind: msgWriteback, id: t.Writes, payload: n.getTile(t.Writes).Clone()}, true)
+		}
+		if len(localReady) > 0 {
+			e.pushReady(n, localReady)
+		}
+	}
+	if e.pending.Add(-1) == 0 {
+		e.wakeAll()
+	}
+}
+
+// pushReady inserts newly runnable tasks into n's queue and wakes the
+// pool.
+func (e *engine) pushReady(n *node, ts []*Task) {
+	n.mu.Lock()
+	for _, t := range ts {
+		heap.Push(&n.ready, &readyItem{t: t, seq: n.seq})
+		n.seq++
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
+}
+
+// bcast routes one tile payload to the destination set along a
+// binomial tree by recursive halving: the sender transmits to the head
+// of each half, handing it the rest of that half to forward. Every
+// destination receives the payload exactly once; tree depth and
+// per-node fan-out are O(log₂ dests) — the column-broadcast shape the
+// paper's distributions are designed around.
+func (e *engine) bcast(from *node, id TileID, payload *tlr.Tile, dests []bcastDest) {
+	for len(dests) > 0 {
+		mid := (len(dests) + 1) / 2
+		child := dests[0]
+		e.send(from, child.node, msg{
+			kind: msgTile, id: id, payload: payload.Clone(),
+			releases: child.releases, subtree: dests[1:mid],
+		}, false)
+		dests = dests[mid:]
+	}
+}
+
+// send transmits one message, counting it against the sender.
+func (e *engine) send(from *node, to int32, m msg, ship bool) {
+	if m.kind == msgShip {
+		to = e.g.tasks[m.releases[0]].exec
+	}
+	m.from = from.id
+	bytes := m.payload.Bytes()
+	if ship {
+		e.cfg.Comm.SentShip(int(from.id), bytes)
+	} else {
+		e.cfg.Comm.Sent(int(from.id), bytes)
+	}
+	e.inflight.Add(1)
+	e.nodes[to].inbox <- m
+}
+
+// commLoop is node n's comm engine: it receives messages, stores
+// payloads into the private store, forwards broadcast subtrees and
+// releases the dependent tasks. One goroutine per node, so it owns its
+// trace track exclusively.
+func (e *engine) commLoop(n *node, track int) {
+	defer e.commWg.Done()
+	ct := e.cfg.Tracer.Worker(track)
+	for m := range n.inbox {
+		startedAt := time.Since(e.start)
+		e.cfg.Comm.Recv(int(n.id), m.payload.Bytes())
+		n.setTile(m.id, m.payload)
+		// Forward before releasing: the payload clone for children must
+		// complete before any local successor could run.
+		if m.kind == msgTile && len(m.subtree) > 0 {
+			e.bcast(n, m.id, m.payload, m.subtree)
+		}
+		if len(m.releases) > 0 && !e.aborted.Load() {
+			var ready []*Task
+			for _, si := range m.releases {
+				s := e.g.tasks[si]
+				if atomic.AddInt32(&s.waits, -1) == 0 {
+					ready = append(ready, s)
+				}
+			}
+			if len(ready) > 0 {
+				e.pushReady(n, ready)
+			}
+		}
+		if ct != nil {
+			ct.Span(fmt.Sprintf("%s(%d,%d)", msgKindNames[m.kind], m.id.M, m.id.N),
+				nil, startedAt, time.Since(e.start)-startedAt)
+		}
+		e.inflight.Done()
+	}
+}

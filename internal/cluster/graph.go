@@ -1,0 +1,168 @@
+// Package cluster is a virtual-cluster distributed-memory execution
+// engine: it runs a task DAG across P virtual nodes, each with a
+// private tile store and its own worker-goroutine pool, connected by a
+// typed message-passing comm engine (Go channels modeling send/recv,
+// with a binomial broadcast tree for one-to-many releases such as the
+// POTRF→TRSM and TRSM→GEMM column broadcasts of the tile Cholesky).
+//
+// The engine honors a dist.Remap exactly as the paper describes
+// (Section VII): a task executes at Remap.ExecRankOf of the tile it
+// writes, while the tile's storage lives at Remap.OwnerRankOf. When the
+// two differ — the band and diamond-shaped redistributions — the
+// runtime ships the tile from owner to executor before the first
+// writing task runs and ships the final value back afterwards,
+// breaking the owner-computes convention while the data keeps its
+// original layout. Every send, receive, ship and broadcast is counted
+// per node in an obs.CommTracker, so measured communication volume can
+// be printed next to the simulator's prediction for the same
+// configuration.
+//
+// Where package runtime is the shared-memory execution engine and
+// package sim only *times* distributed runs, cluster *numerically
+// executes* them: same kernels, same DAG, but with P private address
+// spaces and explicit messages, under the race detector.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tlr"
+)
+
+// TileID identifies one tile of the distributed matrix (row M,
+// column N, lower triangle: M ≥ N).
+type TileID struct {
+	M, N int
+}
+
+// Task is one node of the distributed DAG. Tasks are created through
+// Graph.NewTask and wired with Graph.AddDep; the engine assigns each
+// task to the node Remap.ExecRankOf(Writes) at Run time.
+//
+// The builder must create the tasks writing any given tile in their
+// dependency order (each tile's write chain serialized by AddDep edges,
+// in creation order) — the engine derives the tile's first and last
+// writer from creation order to place remap ship-in and write-back.
+type Task struct {
+	// Label identifies the task in traces and error messages.
+	Label string
+	// Priority orders ready tasks within a node: higher runs first.
+	Priority int64
+	// Writes is the tile this task (re)writes; it determines the
+	// executing node under the remap.
+	Writes TileID
+	// Run executes the task body against the local node's store. A
+	// non-nil error aborts the distributed execution.
+	Run func(ctx *Ctx) error
+	// Info optionally annotates the task's trace span (tile
+	// coordinates, ranks, flops), as in the shared-memory runtime.
+	Info *obs.SpanInfo
+
+	id      int32
+	exec    int32
+	waits   int32
+	succs   []int32
+	wbAfter bool
+	ran     bool
+}
+
+// ID returns the task's creation index.
+func (t *Task) ID() int { return int(t.id) }
+
+// Graph is a distributed task DAG under construction.
+type Graph struct {
+	tasks []*Task
+	edges int
+}
+
+// NewGraph returns an empty distributed task graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// NewTask adds a task writing the given tile.
+func (g *Graph) NewTask(label string, priority int64, writes TileID, run func(*Ctx) error) *Task {
+	t := &Task{Label: label, Priority: priority, Writes: writes, Run: run, id: int32(len(g.tasks))}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// AddDep declares that succ cannot start before pred finishes. When the
+// two tasks execute on different nodes the edge becomes a message
+// carrying pred's written tile.
+func (g *Graph) AddDep(pred, succ *Task) {
+	pred.succs = append(pred.succs, succ.id)
+	succ.waits++
+	g.edges++
+}
+
+// Tasks returns the number of tasks in the graph.
+func (g *Graph) Tasks() int { return len(g.tasks) }
+
+// Edges returns the number of dependencies in the graph.
+func (g *Graph) Edges() int { return g.edges }
+
+// Ctx is the task body's window onto its executing node: tile reads and
+// writes go to the node's private store. Every tile a task touches must
+// be covered by a dependency edge (or be the task's own written tile),
+// which is what guarantees the store holds a current copy.
+type Ctx struct {
+	node  *node
+	track int
+}
+
+// Tile returns the node-local copy of tile (m,n). It panics (aborting
+// the task cleanly) if the tile has not reached this node — a missing
+// dependency edge, which the static verifier would also flag.
+func (c *Ctx) Tile(m, n int) *tlr.Tile {
+	t := c.node.getTile(TileID{M: m, N: n})
+	if t == nil {
+		panic(fmt.Sprintf("cluster: tile (%d,%d) not present on node %d (missing dependency?)", m, n, c.node.id))
+	}
+	return t
+}
+
+// SetTile stores a new value for tile (m,n) in the node's store (used
+// by kernels like the low-rank GEMM that return a fresh tile).
+func (c *Ctx) SetTile(m, n int, t *tlr.Tile) {
+	c.node.setTile(TileID{M: m, N: n}, t)
+}
+
+// Node returns the executing node's id.
+func (c *Ctx) Node() int { return int(c.node.id) }
+
+// Shard returns a stable shard index for metric increments (the global
+// worker index across all nodes).
+func (c *Ctx) Shard() int { return c.track }
+
+// readyItem / readyQueue: a max-heap of ready tasks by priority, FIFO
+// among equals via insertion sequence (the same policy as the
+// shared-memory runtime, applied per node).
+type readyItem struct {
+	t   *Task
+	seq int64
+}
+
+type readyQueue struct {
+	items []*readyItem
+}
+
+func (q *readyQueue) Len() int { return len(q.items) }
+func (q *readyQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.t.Priority != b.t.Priority {
+		return a.t.Priority > b.t.Priority
+	}
+	return a.seq < b.seq
+}
+func (q *readyQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *readyQueue) Push(x interface{}) { q.items = append(q.items, x.(*readyItem)) }
+func (q *readyQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+var _ heap.Interface = (*readyQueue)(nil)

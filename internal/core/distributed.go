@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tlrchol/internal/cluster"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/dist"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+	"tlrchol/internal/trim"
+)
+
+// DistOptions configures a distributed factorization on the virtual
+// cluster (package cluster): the same numerical TLR Cholesky as
+// Factorize, executed across Nodes private address spaces under the
+// given Remap with explicit message passing.
+type DistOptions struct {
+	// Tol / MaxRank / Trim as in Options.
+	Tol     float64
+	MaxRank int
+	Trim    bool
+	// Nodes is the virtual-node count; must equal Remap.Size().
+	Nodes int
+	// WorkersPerNode sizes each node's worker pool (≤ 0: 1).
+	WorkersPerNode int
+	// Remap pairs the data distribution with the execution
+	// distribution (nil Exec: owner-computes).
+	Remap dist.Remap
+	// Tracer, if non-nil, receives compute spans per node worker plus
+	// comm spans on one dedicated track per node.
+	Tracer *obs.Tracer
+	// Comm, if non-nil, accumulates per-node message/byte counters.
+	Comm *obs.CommTracker
+	// Metrics selects the kernel-counter registry (nil: obs.Default).
+	Metrics *obs.Registry
+}
+
+// DistReport describes a distributed factorization.
+type DistReport struct {
+	// Potrf, Trsm, Syrk, Gemm count the task instances (after trimming).
+	Potrf, Trsm, Syrk, Gemm int
+	// Elapsed is the factorization wall time; Analysis the trimming
+	// overhead.
+	Elapsed, Analysis time.Duration
+	// Cluster carries the engine statistics, including the comm
+	// snapshot when DistOptions.Comm was set.
+	Cluster cluster.Stats
+	// EffFlops / DenseFlops as in Report.
+	EffFlops, DenseFlops float64
+	// TasksTrimmed counts full-DAG task instances never created thanks
+	// to trimming (zero when Trim is off).
+	TasksTrimmed int
+	// FinalDensity is the off-diagonal density of the factor.
+	FinalDensity float64
+}
+
+// FactorizeDistributed computes the TLR Cholesky A = L·Lᵀ on the
+// virtual cluster: tiles are scattered to their owner nodes, the
+// (possibly trimmed) DAG executes at the Remap's executing ranks with
+// tiles moving only as messages, and the factor is gathered back into
+// m. The result is tile-for-tile identical to the shared-memory
+// Factorize: every tile's write chain is serialized in the same order
+// on a single node, and the kernels are deterministic.
+func FactorizeDistributed(m *tilemat.Matrix, opts DistOptions) (DistReport, error) {
+	var rep DistReport
+	if opts.Tol <= 0 {
+		return rep, fmt.Errorf("core: DistOptions.Tol must be positive, got %g", opts.Tol)
+	}
+	var structure trim.Structure
+	if opts.Trim {
+		a := trim.Analyze(rankArray{m}, trim.AllLocal)
+		rep.Analysis = a.AnalysisTime
+		structure = a
+	} else {
+		structure = trim.Full{Nt: m.NT}
+	}
+	rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm = trim.TaskCounts(structure)
+	fp, ft, fs, fg := trim.TaskCounts(trim.Full{Nt: m.NT})
+	rep.TasksTrimmed = (fp + ft + fs + fg) - (rep.Potrf + rep.Trsm + rep.Syrk + rep.Gemm)
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default
+	}
+	in := newInstr(opts.Metrics)
+	effBefore, dnsBefore := in.flopTotals()
+
+	g := buildDistGraph(m, structure, opts, in)
+	seed := make(map[cluster.TileID]*tlr.Tile, m.NT*(m.NT+1)/2)
+	for i := 0; i < m.NT; i++ {
+		for j := 0; j <= i; j++ {
+			seed[cluster.TileID{M: i, N: j}] = m.At(i, j)
+		}
+	}
+
+	start := time.Now()
+	st, out, err := g.Run(seed, cluster.Config{
+		Nodes: opts.Nodes, WorkersPerNode: opts.WorkersPerNode,
+		Remap: opts.Remap, Tracer: opts.Tracer, Comm: opts.Comm,
+	})
+	rep.Elapsed = time.Since(start)
+	rep.Cluster = st
+	effAfter, dnsAfter := in.flopTotals()
+	rep.EffFlops, rep.DenseFlops = effAfter-effBefore, dnsAfter-dnsBefore
+	if err != nil {
+		return rep, err
+	}
+	for id, t := range out {
+		m.Set(id.M, id.N, t)
+	}
+	rep.FinalDensity = m.Stats().Density
+	return rep, nil
+}
+
+// buildDistGraph unrolls the factorization DAG for the cluster engine.
+// It mirrors BuildGraph exactly — same task set, same edges, same
+// priorities, and crucially the same per-tile write-chain order — so
+// the distributed execution reproduces the shared-memory values
+// bit for bit. Task bodies read and write through the executing node's
+// private store (Ctx) instead of the shared tilemat.
+func buildDistGraph(m *tilemat.Matrix, s trim.Structure, opts DistOptions, in *instr) *cluster.Graph {
+	nt := m.NT
+	g := cluster.NewGraph()
+	traced := opts.Tracer != nil
+	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
+
+	type tileKey struct{ m, n int }
+	lastWriter := make(map[tileKey]*cluster.Task)
+	trsmT := make(map[tileKey]*cluster.Task)
+
+	base := int64(nt+2) << 22
+	potrfPrio := func(k int) int64 { return base - int64(k)<<22 }
+	trsmPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 1 }
+	syrkPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 2 }
+	gemmPrio := func(k, mm, nn int) int64 {
+		return base - int64(k)<<22 - int64(mm-nn)<<8 - 3
+	}
+
+	for k := 0; k < nt; k++ {
+		k := k
+		pt := g.NewTask(fmt.Sprintf("potrf(%d)", k), potrfPrio(k), cluster.TileID{M: k, N: k}, nil)
+		pt.Info = spanInfo(traced, k, k, k)
+		ptc := pt
+		pt.Run = func(c *cluster.Ctx) error {
+			d := c.Tile(k, k).D
+			if err := dense.Potrf(d); err != nil {
+				return err
+			}
+			in.potrf(c.Shard(), d.Rows, ptc.Info)
+			return nil
+		}
+		if lw := lastWriter[tileKey{k, k}]; lw != nil {
+			g.AddDep(lw, pt)
+		}
+		lastWriter[tileKey{k, k}] = pt
+
+		nb := s.NbTrsm(k)
+		for i := 0; i < nb; i++ {
+			mi := s.TrsmAt(k, i)
+			tt := g.NewTask(fmt.Sprintf("trsm(%d,%d)", k, mi), trsmPrio(k, mi), cluster.TileID{M: mi, N: k}, nil)
+			tt.Info = spanInfo(traced, k, mi, k)
+			ttc := tt
+			tt.Run = func(c *cluster.Ctx) error {
+				t := c.Tile(mi, k)
+				tlr.Trsm(c.Tile(k, k).D, t)
+				in.trsm(c.Shard(), t, ttc.Info)
+				return nil
+			}
+			g.AddDep(pt, tt)
+			if lw := lastWriter[tileKey{mi, k}]; lw != nil {
+				g.AddDep(lw, tt)
+			}
+			lastWriter[tileKey{mi, k}] = tt
+			trsmT[tileKey{mi, k}] = tt
+
+			st := g.NewTask(fmt.Sprintf("syrk(%d,%d)", k, mi), syrkPrio(k, mi), cluster.TileID{M: mi, N: mi}, nil)
+			st.Info = spanInfo(traced, k, mi, mi)
+			stc := st
+			st.Run = func(c *cluster.Ctx) error {
+				a := c.Tile(mi, k)
+				tlr.Syrk(a, c.Tile(mi, mi).D)
+				in.syrk(c.Shard(), a, stc.Info)
+				return nil
+			}
+			g.AddDep(tt, st)
+			if lw := lastWriter[tileKey{mi, mi}]; lw != nil {
+				g.AddDep(lw, st)
+			}
+			lastWriter[tileKey{mi, mi}] = st
+
+			for j := 0; j < i; j++ {
+				ni := s.TrsmAt(k, j)
+				gt := g.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", k, mi, ni), gemmPrio(k, mi, ni), cluster.TileID{M: mi, N: ni}, nil)
+				gt.Info = spanInfo(traced, k, mi, ni)
+				gtc := gt
+				gt.Run = func(c *cluster.Ctx) error {
+					a, b, cc := c.Tile(mi, k), c.Tile(ni, k), c.Tile(mi, ni)
+					ka, kb, kc := a.Rank(), b.Rank(), cc.Rank()
+					out := tlr.Gemm(a, b, cc, cfg)
+					c.SetTile(mi, ni, out)
+					in.gemm(c.Shard(), ka, kb, kc, out, gtc.Info)
+					return nil
+				}
+				g.AddDep(tt, gt)
+				g.AddDep(trsmT[tileKey{ni, k}], gt)
+				if lw := lastWriter[tileKey{mi, ni}]; lw != nil {
+					g.AddDep(lw, gt)
+				}
+				lastWriter[tileKey{mi, ni}] = gt
+			}
+		}
+	}
+	return g
+}

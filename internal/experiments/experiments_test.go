@@ -267,7 +267,10 @@ func TestAblationRobustness(t *testing.T) {
 }
 
 func TestValidationBand(t *testing.T) {
-	r := Validation(0.1)
+	r, err := Validation(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range r.Points {
 		if p.SimTasks != p.EstTasks {
 			t.Fatalf("task counts must agree exactly: %d vs %d", p.SimTasks, p.EstTasks)

@@ -31,7 +31,7 @@ type ValidationResult struct {
 }
 
 // Validation runs the cross-validation at event-simulable sizes.
-func Validation(scale float64) *ValidationResult {
+func Validation(scale float64) (*ValidationResult, error) {
 	res := &ValidationResult{Machine: sim.ShaheenII.Name, Nodes: 64}
 	for _, nf := range []float64{0.37e6, 0.75e6, 1.49e6} {
 		// Validation sizes stay event-simulable by design: the untrimmed
@@ -47,7 +47,10 @@ func Validation(scale float64) *ValidationResult {
 		cfg := HiCMAParsec(sim.ShaheenII, res.Nodes)
 		for _, trimmed := range []bool{true, false} {
 			w := sim.NewWorkload(model, &model, trimmed)
-			rSim := sim.Run(w, cfg)
+			rSim, err := sim.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
 			rEst := sim.Estimate(model, cfg, sim.EstOptions{Trimmed: trimmed})
 			res.Points = append(res.Points, ValidationPoint{
 				N: n, Trimmed: trimmed,
@@ -56,7 +59,7 @@ func Validation(scale float64) *ValidationResult {
 			})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // WorstRatio returns the estimator/simulator makespan ratio farthest

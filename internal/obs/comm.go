@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// The communication half of the observability layer: per-node message
+// and byte counters for distributed (virtual-cluster) executions. The
+// paper's Section VII argument is entirely about communication — which
+// distribution keeps the column broadcasts narrow, what the band/diamond
+// remapping costs in shipped tiles — so the comm engine reports every
+// send, receive and broadcast here, per node, and the CLI prints the
+// measured volume next to the simulator's prediction for the same
+// configuration.
+//
+// Like the metrics registry, the tracker is built for concurrent
+// writers: one cache-line-padded slot per node, updated with single
+// atomic adds by that node's comm engine and workers. All entry points
+// are safe on a nil *CommTracker (no-op), so untracked runs pay nothing.
+
+// commSlot is one node's counters. Eight hot 8-byte fields plus the
+// fan-out gauge span more than one cache line already, which keeps
+// adjacent slots' hot fields apart; the trailing pad rounds the slot up
+// so slot boundaries stay line-aligned.
+type commSlot struct {
+	msgsSent, msgsRecv   atomic.Uint64
+	bytesSent, bytesRecv atomic.Uint64
+	shipMsgs, shipBytes  atomic.Uint64
+	bcasts, fanoutSum    atomic.Uint64
+	maxFanout            Gauge
+	_                    [cacheLine - 2*8]byte
+}
+
+// CommTracker accumulates per-node communication statistics of one
+// distributed execution: messages and bytes sent/received over the
+// dependency-flow channels, remap ship traffic (ship-in + write-back),
+// and broadcast fan-out (how many destination nodes each column
+// broadcast reached — the quantity the diamond distribution keeps
+// bounded at the column process-group size).
+type CommTracker struct {
+	nodes []commSlot
+}
+
+// NewCommTracker returns a tracker for the given node count.
+func NewCommTracker(nodes int) *CommTracker {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	return &CommTracker{nodes: make([]commSlot, nodes)}
+}
+
+// Nodes returns the tracked node count. Safe on nil (zero).
+func (c *CommTracker) Nodes() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.nodes)
+}
+
+// Sent records one dependency-flow message of the given payload size
+// leaving node. Safe on nil.
+func (c *CommTracker) Sent(node int, bytes int) {
+	if c == nil {
+		return
+	}
+	s := &c.nodes[node]
+	s.msgsSent.Add(1)
+	s.bytesSent.Add(uint64(bytes))
+}
+
+// SentShip records one remap ship message (ship-in or write-back)
+// leaving node; ship traffic is counted both in the send totals and in
+// the dedicated ship counters, mirroring the simulator's CommVolume /
+// ShipVolume split. Safe on nil.
+func (c *CommTracker) SentShip(node int, bytes int) {
+	if c == nil {
+		return
+	}
+	s := &c.nodes[node]
+	s.msgsSent.Add(1)
+	s.bytesSent.Add(uint64(bytes))
+	s.shipMsgs.Add(1)
+	s.shipBytes.Add(uint64(bytes))
+}
+
+// Recv records one message of the given payload size arriving at node.
+// Safe on nil.
+func (c *CommTracker) Recv(node int, bytes int) {
+	if c == nil {
+		return
+	}
+	s := &c.nodes[node]
+	s.msgsRecv.Add(1)
+	s.bytesRecv.Add(uint64(bytes))
+}
+
+// Bcast records the fan-out (number of distinct destination nodes) of
+// one broadcast rooted at node. Safe on nil.
+func (c *CommTracker) Bcast(node int, fanout int) {
+	if c == nil {
+		return
+	}
+	s := &c.nodes[node]
+	s.bcasts.Add(1)
+	s.fanoutSum.Add(uint64(fanout))
+	s.maxFanout.Set(int64(fanout))
+}
+
+// CommNodeStats is the read-only snapshot of one node's counters.
+type CommNodeStats struct {
+	MsgsSent, MsgsRecv   uint64
+	BytesSent, BytesRecv uint64
+	// ShipMsgs/ShipBytes are the remap ship-in + write-back subset of
+	// the sent totals.
+	ShipMsgs, ShipBytes uint64
+	// Bcasts counts broadcasts rooted at this node; FanoutSum their
+	// summed destination counts; MaxFanout the widest one.
+	Bcasts, FanoutSum uint64
+	MaxFanout         int64
+}
+
+// AvgFanout returns the mean broadcast width.
+func (n CommNodeStats) AvgFanout() float64 {
+	if n.Bcasts == 0 {
+		return 0
+	}
+	return float64(n.FanoutSum) / float64(n.Bcasts)
+}
+
+// CommSnapshot is a merged view over all nodes.
+type CommSnapshot struct {
+	PerNode []CommNodeStats
+}
+
+// Snapshot captures the current per-node counters. Safe on nil
+// (empty snapshot).
+func (c *CommTracker) Snapshot() CommSnapshot {
+	if c == nil {
+		return CommSnapshot{}
+	}
+	out := CommSnapshot{PerNode: make([]CommNodeStats, len(c.nodes))}
+	for i := range c.nodes {
+		s := &c.nodes[i]
+		out.PerNode[i] = CommNodeStats{
+			MsgsSent: s.msgsSent.Load(), MsgsRecv: s.msgsRecv.Load(),
+			BytesSent: s.bytesSent.Load(), BytesRecv: s.bytesRecv.Load(),
+			ShipMsgs: s.shipMsgs.Load(), ShipBytes: s.shipBytes.Load(),
+			Bcasts: s.bcasts.Load(), FanoutSum: s.fanoutSum.Load(),
+			MaxFanout: s.maxFanout.Max(),
+		}
+	}
+	return out
+}
+
+// Totals sums the per-node statistics (MaxFanout is the max).
+func (s CommSnapshot) Totals() CommNodeStats {
+	var t CommNodeStats
+	for _, n := range s.PerNode {
+		t.MsgsSent += n.MsgsSent
+		t.MsgsRecv += n.MsgsRecv
+		t.BytesSent += n.BytesSent
+		t.BytesRecv += n.BytesRecv
+		t.ShipMsgs += n.ShipMsgs
+		t.ShipBytes += n.ShipBytes
+		t.Bcasts += n.Bcasts
+		t.FanoutSum += n.FanoutSum
+		if n.MaxFanout > t.MaxFanout {
+			t.MaxFanout = n.MaxFanout
+		}
+	}
+	return t
+}
+
+// String renders one line per node plus a totals line.
+func (s CommSnapshot) String() string {
+	out := ""
+	for i, n := range s.PerNode {
+		out += fmt.Sprintf("node %2d: sent %d msgs / %.1f KB, recv %d msgs / %.1f KB, ship %d / %.1f KB, bcast avg/max fan-out %.1f/%d\n",
+			i, n.MsgsSent, float64(n.BytesSent)/1e3, n.MsgsRecv, float64(n.BytesRecv)/1e3,
+			n.ShipMsgs, float64(n.ShipBytes)/1e3, n.AvgFanout(), n.MaxFanout)
+	}
+	t := s.Totals()
+	out += fmt.Sprintf("total:   %d msgs, %.1f KB moved (%.1f KB remap ship)\n",
+		t.MsgsSent, float64(t.BytesSent)/1e3, float64(t.ShipBytes)/1e3)
+	return out
+}

@@ -191,6 +191,15 @@ func (q *readyQueue) Pop() interface{} {
 // Run executes the graph with the given number of workers (≤ 0 selects
 // GOMAXPROCS). It returns scheduling statistics and the first task
 // error encountered, if any. Run may be called once per graph.
+//
+// Abort protocol: the first failing (or panicking) task sets aborted
+// inside the scheduler critical section, so successor release — gated
+// on !aborted at the decrement site — and the worker exit predicate
+// observe it consistently. In-flight tasks finish and are joined;
+// ready-but-unpopped tasks are dropped; successors of the failed task
+// are never released, transitively pinning everything downstream. Run
+// returns only after every worker has exited, so an abort leaks no
+// goroutines and cannot hang (regression-tested in abort_test.go).
 func (g *Graph) Run(workers int) (Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

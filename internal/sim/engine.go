@@ -108,16 +108,38 @@ type simTask struct {
 	succs   []int32
 }
 
+// Validate reports configuration errors as usable messages instead of
+// letting the simulation panic or silently misattribute work.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Remap.Data == nil {
+		return fmt.Errorf("sim: Remap.Data distribution is nil")
+	}
+	if c.Remap.Size() != c.Nodes {
+		return fmt.Errorf("sim: Nodes=%d but distribution %q has %d processes",
+			c.Nodes, c.Remap.Data.Name(), c.Remap.Size())
+	}
+	if c.Machine.CoresPerNode <= 0 {
+		return fmt.Errorf("sim: Machine.CoresPerNode must be positive, got %d", c.Machine.CoresPerNode)
+	}
+	return nil
+}
+
 // Run simulates one TLR Cholesky factorization.
-func Run(w Workload, cfg Config) Result {
-	if cfg.Nodes != cfg.Remap.Size() {
-		panic(fmt.Sprintf("sim: Nodes=%d but distribution has %d processes", cfg.Nodes, cfg.Remap.Size()))
+func Run(w Workload, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w.NT <= 0 || w.B <= 0 {
+		return Result{}, fmt.Errorf("sim: workload has NT=%d B=%d, both must be positive", w.NT, w.B)
 	}
 	tasks, res := buildDAG(w, cfg)
 	runEventLoop(tasks, w, cfg, &res)
 	res.CriticalPathTime = CriticalPathTime(w, cfg.Machine)
 	accountMemory(w, cfg, &res)
-	return res
+	return res, nil
 }
 
 // buildDAG materializes the (possibly trimmed) task DAG with costs,
@@ -562,10 +584,19 @@ func CompressionTime(w Workload, cfg Config) float64 {
 			c := flops.GenerateTile(w.B)
 			if m > n {
 				r := w.initRank(m, n)
-				if r > 0 {
-					c += flops.CompressQRCP(w.B, r)
-				} else {
+				if r == 0 {
+					// Zero-rank tile. Under trimming (Section VI) Algorithm 1
+					// screens it out before generation: it is never assembled
+					// or compressed, so it costs nothing — consistent with
+					// trim.Structure, which creates no tasks for it either.
+					// Untrimmed runs still generate it and pay a compression
+					// pass that discovers the emptiness.
+					if w.Trimmed {
+						continue
+					}
 					c += flops.CompressQRCP(w.B, 1)
+				} else {
+					c += flops.CompressQRCP(w.B, r)
 				}
 			}
 			per[owner] += c / (cfg.Machine.GFlopsPerCore * 1e9)

@@ -31,7 +31,7 @@ func TestEstimateMatchesSimulator(t *testing.T) {
 		cfg := hicmaCfg(64)
 		for _, trimmed := range []bool{true, false} {
 			w := NewWorkload(model, &model, trimmed)
-			rSim := Run(w, cfg)
+			rSim := mustRun(t, w, cfg)
 			rEst := Estimate(model, cfg, EstOptions{Trimmed: trimmed})
 			ratio := rEst.Makespan / rSim.Makespan
 			if ratio < 0.45 || ratio > 1.35 {

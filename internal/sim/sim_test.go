@@ -26,7 +26,7 @@ func ownerComputes(p, q int) dist.Remap {
 func TestSingleProcessMakespanBounds(t *testing.T) {
 	model := testModel(24)
 	w := NewWorkload(model, &model, true)
-	res := Run(w, cfgFor(ShaheenII, 1, ownerComputes(1, 1)))
+	res := mustRun(t, w, cfgFor(ShaheenII, 1, ownerComputes(1, 1)))
 	// On one process there is no communication.
 	if res.CommVolume != 0 || res.Msgs != 0 {
 		t.Fatalf("single process must not communicate: %v bytes %d msgs", res.CommVolume, res.Msgs)
@@ -56,8 +56,8 @@ func TestWorkConservation(t *testing.T) {
 		}
 		return s
 	}
-	r1 := Run(w, cfgFor(ShaheenII, 1, ownerComputes(1, 1)))
-	r4 := Run(w, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
+	r1 := mustRun(t, w, cfgFor(ShaheenII, 1, ownerComputes(1, 1)))
+	r4 := mustRun(t, w, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
 	if math.Abs(sum(r1.Busy)-sum(r4.Busy)) > 1e-9*sum(r1.Busy) {
 		t.Fatalf("busy work not conserved: %g vs %g", sum(r1.Busy), sum(r4.Busy))
 	}
@@ -71,8 +71,8 @@ func TestTrimmingReducesTasksAndTime(t *testing.T) {
 	wT := NewWorkload(model, &model, true)
 	wF := NewWorkload(model, &model, false)
 	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
-	rT := Run(wT, cfg)
-	rF := Run(wF, cfg)
+	rT := mustRun(t, wT, cfg)
+	rF := mustRun(t, wF, cfg)
 	if rT.Tasks >= rF.Tasks {
 		t.Fatalf("trimming must reduce tasks: %d vs %d", rT.Tasks, rF.Tasks)
 	}
@@ -91,7 +91,7 @@ func TestTrimmingConvergesAtFullDensity(t *testing.T) {
 	wT := NewWorkload(model, &model, true)
 	wF := NewWorkload(model, &model, false)
 	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
-	rT, rF := Run(wT, cfg), Run(wF, cfg)
+	rT, rF := mustRun(t, wT, cfg), mustRun(t, wF, cfg)
 	if rT.Tasks != rF.Tasks {
 		t.Fatalf("at density 1 trimmed and full DAGs must coincide: %d vs %d", rT.Tasks, rF.Tasks)
 	}
@@ -105,8 +105,8 @@ func TestBandDistributionReducesCommOrTime(t *testing.T) {
 	w := NewWorkload(model, &model, true)
 	nodes := 8
 	p, q := dist.Grid(nodes)
-	base := Run(w, cfgFor(ShaheenII, nodes, dist.Remap{Data: dist.TwoDBC{P: p, Q: q}}))
-	band := Run(w, cfgFor(ShaheenII, nodes, dist.Remap{
+	base := mustRun(t, w, cfgFor(ShaheenII, nodes, dist.Remap{Data: dist.TwoDBC{P: p, Q: q}}))
+	band := mustRun(t, w, cfgFor(ShaheenII, nodes, dist.Remap{
 		Data: dist.TwoDBC{P: p, Q: q},
 		Exec: dist.NewBand(p, q),
 	}))
@@ -120,11 +120,11 @@ func TestDiamondImprovesLoadBalance(t *testing.T) {
 	w := NewWorkload(model, &model, true)
 	nodes := 8
 	p, q := dist.Grid(nodes)
-	band := Run(w, cfgFor(ShaheenII, nodes, dist.Remap{
+	band := mustRun(t, w, cfgFor(ShaheenII, nodes, dist.Remap{
 		Data: dist.TwoDBC{P: p, Q: q},
 		Exec: dist.NewBand(p, q),
 	}))
-	diamond := Run(w, cfgFor(ShaheenII, nodes, dist.Remap{
+	diamond := mustRun(t, w, cfgFor(ShaheenII, nodes, dist.Remap{
 		Data: dist.TwoDBC{P: p, Q: q},
 		Exec: dist.BandDiamond(p, q),
 	}))
@@ -138,11 +138,11 @@ func TestRemapChargesShipVolume(t *testing.T) {
 	model := testModel(24)
 	w := NewWorkload(model, &model, true)
 	p, q := 2, 2
-	remapped := Run(w, cfgFor(ShaheenII, 4, dist.Remap{
+	remapped := mustRun(t, w, cfgFor(ShaheenII, 4, dist.Remap{
 		Data: dist.TwoDBC{P: p, Q: q},
 		Exec: dist.BandDiamond(p, q),
 	}))
-	owner := Run(w, cfgFor(ShaheenII, 4, ownerComputes(p, q)))
+	owner := mustRun(t, w, cfgFor(ShaheenII, 4, ownerComputes(p, q)))
 	if remapped.ShipVolume <= 0 {
 		t.Fatalf("remapped execution must ship tiles")
 	}
@@ -154,7 +154,7 @@ func TestRemapChargesShipVolume(t *testing.T) {
 func TestCriticalPathBounds(t *testing.T) {
 	model := testModel(24)
 	w := NewWorkload(model, &model, true)
-	res := Run(w, cfgFor(Fugaku, 4, ownerComputes(2, 2)))
+	res := mustRun(t, w, cfgFor(Fugaku, 4, ownerComputes(2, 2)))
 	if res.CriticalPathTime <= 0 {
 		t.Fatalf("critical path not computed")
 	}
@@ -175,8 +175,8 @@ func TestCriticalPathBounds(t *testing.T) {
 func TestMoreNodesDoNotSlowDownLargeProblem(t *testing.T) {
 	model := testModel(96)
 	w := NewWorkload(model, &model, true)
-	r4 := Run(w, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
-	r16 := Run(w, cfgFor(ShaheenII, 16, ownerComputes(4, 4)))
+	r4 := mustRun(t, w, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
+	r16 := mustRun(t, w, cfgFor(ShaheenII, 16, ownerComputes(4, 4)))
 	if r16.Makespan > r4.Makespan*1.1 {
 		t.Fatalf("scaling out should not badly hurt a large problem: %g -> %g",
 			r4.Makespan, r16.Makespan)
@@ -186,7 +186,7 @@ func TestMoreNodesDoNotSlowDownLargeProblem(t *testing.T) {
 func TestMemoryAccounting(t *testing.T) {
 	model := testModel(24)
 	w := NewWorkload(model, &model, true)
-	res := Run(w, cfgFor(ShaheenII, 4, dist.Remap{
+	res := mustRun(t, w, cfgFor(ShaheenII, 4, dist.Remap{
 		Data: dist.TwoDBC{P: 2, Q: 2},
 		Exec: dist.BandDiamond(2, 2),
 	}))
@@ -222,29 +222,67 @@ func TestDeterminism(t *testing.T) {
 	model := testModel(24)
 	w := NewWorkload(model, &model, true)
 	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
-	a := Run(w, cfg)
-	b := Run(w, cfg)
+	a := mustRun(t, w, cfg)
+	b := mustRun(t, w, cfg)
 	if a.Makespan != b.Makespan || a.CommVolume != b.CommVolume || a.Msgs != b.Msgs {
 		t.Fatalf("simulation must be deterministic")
 	}
 }
 
-func TestMismatchedNodesPanics(t *testing.T) {
+func TestConfigValidation(t *testing.T) {
 	model := testModel(8)
 	w := NewWorkload(model, &model, true)
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("expected panic")
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mismatched nodes", cfgFor(ShaheenII, 3, ownerComputes(2, 2))},
+		{"zero nodes", cfgFor(ShaheenII, 0, ownerComputes(1, 1))},
+		{"negative nodes", cfgFor(ShaheenII, -4, ownerComputes(2, 2))},
+		{"nil distribution", Config{Machine: ShaheenII, Nodes: 4}},
+		{"zero cores", Config{Machine: Machine{}, Nodes: 1, Remap: ownerComputes(1, 1)}},
+	}
+	for _, c := range cases {
+		if _, err := Run(w, c.cfg); err == nil {
+			t.Fatalf("%s: invalid config accepted", c.name)
 		}
-	}()
-	Run(w, cfgFor(ShaheenII, 3, ownerComputes(2, 2)))
+	}
+	if _, err := Run(Workload{}, cfgFor(ShaheenII, 1, ownerComputes(1, 1))); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+// TestCompressionTimeSkipsTrimmedZeroTiles pins the Section VI
+// accounting: zero-rank tiles are never generated or compressed under
+// trimming, so they must cost nothing — a trimmed workload over a
+// sparse rank field compresses strictly faster than the untrimmed one,
+// and exactly matches a hand-summed model that skips zero tiles.
+func TestCompressionTimeSkipsTrimmedZeroTiles(t *testing.T) {
+	model := testModel(16) // CutoffTiles=6 < 16: far tiles have rank 0
+	wT := NewWorkload(model, &model, true)
+	wF := NewWorkload(model, &model, false)
+	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
+	cT, cF := CompressionTime(wT, cfg), CompressionTime(wF, cfg)
+	if cT <= 0 || cF <= 0 {
+		t.Fatalf("compression times must be positive: trimmed %g untrimmed %g", cT, cF)
+	}
+	if cT >= cF {
+		t.Fatalf("trimmed compression %g not cheaper than untrimmed %g despite zero tiles", cT, cF)
+	}
+	// With no zero tiles the two accountings coincide.
+	densem := ranks.Model{NTiles: 8, TileB: 512, MaxRank: 48, DecayTiles: 4, CutoffTiles: 100}
+	dT := CompressionTime(NewWorkload(densem, &densem, true), cfg)
+	dF := CompressionTime(NewWorkload(densem, &densem, false), cfg)
+	if dT != dF {
+		t.Fatalf("dense field: trimmed %g != untrimmed %g", dT, dF)
+	}
 }
 
 func TestNullTaskAccounting(t *testing.T) {
 	// Sparse structure, untrimmed: most tasks are null.
 	model := ranks.Model{NTiles: 32, TileB: 512, MaxRank: 16, DecayTiles: 1, CutoffTiles: 2}
 	wF := NewWorkload(model, &model, false)
-	r := Run(wF, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
+	r := mustRun(t, wF, cfgFor(ShaheenII, 4, ownerComputes(2, 2)))
 	if r.NullTasks == 0 || r.NullTasks >= r.Tasks {
 		t.Fatalf("null accounting wrong: %d of %d", r.NullTasks, r.Tasks)
 	}
@@ -259,7 +297,7 @@ func TestCollectTrace(t *testing.T) {
 	w := NewWorkload(model, &model, true)
 	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
 	cfg.CollectTrace = true
-	r := Run(w, cfg)
+	r := mustRun(t, w, cfg)
 	if len(r.Trace) != r.Tasks {
 		t.Fatalf("trace should record every task: %d vs %d", len(r.Trace), r.Tasks)
 	}
@@ -274,7 +312,7 @@ func TestCollectTrace(t *testing.T) {
 	}
 	// Without the flag no trace is kept.
 	cfg.CollectTrace = false
-	if r2 := Run(w, cfg); r2.Trace != nil {
+	if r2 := mustRun(t, w, cfg); r2.Trace != nil {
 		t.Fatalf("trace collected without the flag")
 	}
 }
@@ -287,7 +325,7 @@ func TestSimPathNodes(t *testing.T) {
 	cfg := cfgFor(ShaheenII, 4, ownerComputes(2, 2))
 	cfg.CollectTrace = true
 	w := NewWorkload(model, &model, true)
-	r := Run(w, cfg)
+	r := mustRun(t, w, cfg)
 	if len(r.PathNodes) != r.Tasks {
 		t.Fatalf("%d path nodes for %d tasks", len(r.PathNodes), r.Tasks)
 	}
@@ -312,7 +350,17 @@ func TestSimPathNodes(t *testing.T) {
 	}
 	// Without trace collection the export stays off.
 	cfg.CollectTrace = false
-	if r2 := Run(NewWorkload(model, &model, true), cfg); r2.PathNodes != nil {
+	if r2 := mustRun(t, NewWorkload(model, &model, true), cfg); r2.PathNodes != nil {
 		t.Fatalf("PathNodes should be nil without CollectTrace")
 	}
+}
+
+// mustRun runs the simulation, failing the test on configuration errors.
+func mustRun(t *testing.T, w Workload, cfg Config) Result {
+	t.Helper()
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }

@@ -17,8 +17,8 @@ go vet ./...
 echo "== concurrency lint (cmd/lint)"
 go run ./cmd/lint ./...
 
-echo "== race-detector tests (runtime, ptg, verify, obs)"
-go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs
+echo "== race-detector tests (runtime, ptg, verify, obs, cluster)"
+go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs ./internal/cluster
 
 echo "== full test suite"
 go test ./...
@@ -33,6 +33,18 @@ trap 'rm -f "$obs_trace"' EXIT
 go run ./cmd/tlrchol -n 1024 -b 128 -verify=false -trace-out "$obs_trace" > /dev/null
 grep -q '"traceEvents"' "$obs_trace" || {
     echo "check.sh: trace-out produced no traceEvents" >&2; exit 1; }
+
+echo "== distributed execution gate"
+# The virtual cluster must reproduce the shared-memory factor bit for
+# bit under every distribution (private node stores enforced by the
+# race detector), and a distributed CLI run must print its measured
+# comm volume next to the simulator's prediction.
+go test -race -run 'TestDistributedMatchesSharedMemory' ./internal/core
+dist_out="$(go run ./cmd/tlrchol -n 1024 -b 128 -verify=false -nodes 4 -dist diamond)"
+echo "$dist_out" | grep -q 'measured comm volume:' || {
+    echo "check.sh: distributed run printed no measured comm volume" >&2; exit 1; }
+echo "$dist_out" | grep -q 'sim prediction' || {
+    echo "check.sh: distributed run printed no sim prediction" >&2; exit 1; }
 
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
