@@ -1,0 +1,242 @@
+// Command tlrserve runs the TLR Cholesky solve service: an HTTP server
+// that factorizes kernel operators on demand, caches the factors by
+// problem fingerprint, coalesces concurrent solves into blocked
+// multi-RHS substitutions and sheds load with 429s when full. With
+// -loadgen it instead drives such a server (its own in-process one by
+// default) with an open-loop request stream and reports latency
+// percentiles and cache effectiveness.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"tlrchol/internal/obs"
+	"tlrchol/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	cacheMB := flag.Int("cache-mb", 1024, "factor cache budget in MiB")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "RHS coalescing window (negative disables batching)")
+	maxBatch := flag.Int("max-batch", 64, "max columns per blocked solve")
+	maxInflight := flag.Int("max-inflight", 64, "admitted requests before 429")
+	maxN := flag.Int("max-n", 16384, "largest accepted problem size")
+	workers := flag.Int("workers", 0, "factorization workers (0 = GOMAXPROCS)")
+	factorTimeout := flag.Duration("factor-timeout", 5*time.Minute, "per-factorization budget")
+	solveTimeout := flag.Duration("solve-timeout", time.Minute, "per-batch solve budget")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+
+	loadgen := flag.Bool("loadgen", false, "drive a server instead of being one")
+	target := flag.String("target", "", "loadgen: base URL of the server (empty = start one in-process)")
+	lgN := flag.Int("n", 2048, "loadgen: problem size")
+	lgTile := flag.Int("tile", 128, "loadgen: tile size")
+	lgTol := flag.Float64("tol", 1e-6, "loadgen: accuracy threshold")
+	lgNRHS := flag.Int("nrhs", 1, "loadgen: RHS columns per request")
+	lgRate := flag.Float64("rate", 50, "loadgen: request arrivals per second (open loop)")
+	lgDur := flag.Duration("duration", 10*time.Second, "loadgen: run length")
+	lgRefine := flag.Bool("refine", false, "loadgen: request iterative refinement")
+	flag.Parse()
+
+	cfg := serve.Config{
+		CacheBudget:      int64(*cacheMB) << 20,
+		BatchWindow:      *batchWindow,
+		MaxBatchCols:     *maxBatch,
+		MaxInflight:      *maxInflight,
+		MaxN:             *maxN,
+		FactorizeTimeout: *factorTimeout,
+		SolveTimeout:     *solveTimeout,
+		Workers:          *workers,
+	}
+
+	if *loadgen {
+		os.Exit(runLoadgen(cfg, *target, loadgenConfig{
+			n: *lgN, tile: *lgTile, tol: *lgTol, nrhs: *lgNRHS,
+			rate: *lgRate, duration: *lgDur, refine: *lgRefine,
+		}))
+	}
+	os.Exit(runServer(cfg, *addr, *drainTimeout))
+}
+
+func runServer(cfg serve.Config, addr string, drainTimeout time.Duration) int {
+	expvar.Publish("tlrserve.metrics", expvar.Func(func() any { return obs.Default.Map() }))
+	s := serve.New(cfg)
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlrserve: %v\n", err)
+		return 1
+	}
+	fmt.Printf("tlrserve listening on http://%s (POST /v1/factorize, POST /v1/solve, GET /v1/stats, GET /metrics)\n",
+		l.Addr())
+
+	// SIGTERM/SIGINT drain: stop accepting, let in-flight requests
+	// (including batch leaders mid-window) complete, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "tlrserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("tlrserve: draining...")
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "tlrserve: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Println("tlrserve: drained cleanly")
+	return 0
+}
+
+type loadgenConfig struct {
+	n, tile, nrhs int
+	tol, rate     float64
+	duration      time.Duration
+	refine        bool
+}
+
+// runLoadgen fires an open-loop request stream (arrivals on a fixed
+// clock, independent of completions — the schedule a latency SLO is
+// measured against) and reports percentiles plus server-side cache
+// and batching effectiveness.
+func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
+	if target == "" {
+		s := serve.New(cfg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlrserve: %v\n", err)
+			return 1
+		}
+		srv := &http.Server{Handler: s.Handler()}
+		go srv.Serve(l)
+		defer srv.Close()
+		target = fmt.Sprintf("http://%s", l.Addr())
+		fmt.Printf("loadgen: started in-process server on %s\n", target)
+	}
+
+	spec := serve.ProblemSpec{N: lg.n, Tile: lg.tile, Tol: lg.tol}
+	fmt.Printf("loadgen: priming factor (n=%d tile=%d tol=%.0e)...\n", lg.n, lg.tile, lg.tol)
+	primeStart := time.Now()
+	if code, body, err := postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: spec}); err != nil || code != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "loadgen: prime factorize failed: code=%d err=%v body=%s\n", code, err, body)
+		return 1
+	}
+	fmt.Printf("loadgen: factor ready in %v; driving %.0f req/s for %v (nrhs=%d refine=%v)\n",
+		time.Since(primeStart).Round(time.Millisecond), lg.rate, lg.duration, lg.nrhs, lg.refine)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		failed    int
+		batchSum  int
+	)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / lg.rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(lg.duration)
+	seed := int64(1)
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		seed++
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			req := serve.SolveRequest{
+				Problem: &spec,
+				NRHS:    lg.nrhs,
+				RHSSeed: seed,
+				Refine:  lg.refine,
+			}
+			start := time.Now()
+			code, body, err := postJSON(target+"/v1/solve", req)
+			elapsed := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				failed++
+			case code == http.StatusTooManyRequests:
+				rejected++
+			case code != http.StatusOK:
+				failed++
+			default:
+				latencies = append(latencies, elapsed)
+				var resp serve.SolveResponse
+				if json.Unmarshal(body, &resp) == nil {
+					batchSum += resp.BatchCols
+				}
+			}
+		}(seed)
+	}
+	wg.Wait()
+
+	if len(latencies) == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: no successful requests (%d rejected, %d failed)\n", rejected, failed)
+		return 1
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	total := len(latencies) + rejected + failed
+	fmt.Printf("loadgen: %d requests (%d ok, %d rejected/429, %d failed) over %v\n",
+		total, len(latencies), rejected, failed, lg.duration)
+	fmt.Printf("latency  p50 %v   p95 %v   p99 %v   max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Printf("mean batch width %.1f columns\n", float64(batchSum)/float64(len(latencies)))
+
+	// Cache effectiveness from the server's own accounting.
+	if resp, err := http.Get(target + "/v1/stats"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st serve.StatsResponse
+		if json.Unmarshal(body, &st) == nil {
+			refs := st.Cache.Hits + st.Cache.Waits + st.Cache.Misses
+			if refs > 0 {
+				fmt.Printf("factor cache: %.1f%% hit rate (%d hits, %d singleflight waits, %d misses, %d factorization runs)\n",
+					100*float64(st.Cache.Hits+st.Cache.Waits)/float64(refs),
+					st.Cache.Hits, st.Cache.Waits, st.Cache.Misses, st.Totals["serve.factorize.runs"])
+			}
+		}
+	}
+	return 0
+}
+
+func postJSON(url string, v any) (int, []byte, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

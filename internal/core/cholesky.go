@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,6 +60,13 @@ type Options struct {
 	// CritPath computes the realized critical path of the executed DAG
 	// into Report.CritPath (parallel path only).
 	CritPath bool
+	// Context, if non-nil, cancels the factorization cooperatively: it
+	// is checked before each panel (sequential path) or each task
+	// (parallel path), and the first ctx error aborts the run through
+	// the runtime's abort protocol. On cancellation the matrix is left
+	// partially factorized and must be discarded. The long-lived solve
+	// service (internal/serve) uses this to propagate request deadlines.
+	Context context.Context
 }
 
 // Report describes what a factorization did.
@@ -179,6 +187,11 @@ func factorizeSequential(m *tilemat.Matrix, s trim.Structure, opts Options, in *
 	nt := m.NT
 	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
 	for k := 0; k < nt; k++ {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return err
+			}
+		}
 		if err := dense.Potrf(m.At(k, k).D); err != nil {
 			return fmt.Errorf("core: POTRF(%d): %w", k, err)
 		}
@@ -234,6 +247,15 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 	g := runtime.NewGraph()
 	g.Observe(opts.Tracer)
 	traced := opts.Tracer != nil
+	// ctxErr is the cooperative-cancellation check every task runs
+	// first: a cancelled context fails the task, and the runtime's
+	// abort protocol drains the rest of the DAG without starting it.
+	ctxErr := func() error {
+		if opts.Context == nil {
+			return nil
+		}
+		return opts.Context.Err()
+	}
 	in := newInstr(opts.Metrics)
 	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
 
@@ -269,6 +291,9 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 			pt.Info = spanInfo(traced, k, k, k)
 			ptc := pt
 			pt.Run = func() error {
+				if err := ctxErr(); err != nil {
+					return err
+				}
 				if err := dense.Potrf(m.At(k, k).D); err != nil {
 					return err
 				}
@@ -292,6 +317,9 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 			tt.Info = spanInfo(traced, k, mi, k)
 			ttc := tt
 			tt.Run = func() error {
+				if err := ctxErr(); err != nil {
+					return err
+				}
 				tlr.Trsm(m.At(k, k).D, m.At(mi, k))
 				in.trsm(ttc.Worker(), m.At(mi, k), ttc.Info)
 				return nil
@@ -308,6 +336,9 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 			st.Info = spanInfo(traced, k, mi, mi)
 			stc := st
 			st.Run = func() error {
+				if err := ctxErr(); err != nil {
+					return err
+				}
 				tlr.Syrk(m.At(mi, k), m.At(mi, mi).D)
 				in.syrk(stc.Worker(), m.At(mi, k), stc.Info)
 				return nil
@@ -325,6 +356,9 @@ func BuildGraph(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Grap
 				gt.Info = spanInfo(traced, k, mi, ni)
 				gtc := gt
 				gt.Run = func() error {
+					if err := ctxErr(); err != nil {
+						return err
+					}
 					ka, kb, kc := m.At(mi, k).Rank(), m.At(ni, k).Rank(), m.At(mi, ni).Rank()
 					out := tlr.Gemm(m.At(mi, k), m.At(ni, k), m.At(mi, ni), cfg)
 					m.Set(mi, ni, out)

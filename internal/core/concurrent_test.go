@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tlrchol/internal/dense"
+)
+
+// TestConcurrentFactorizeRace is the shared-pool concurrency audit: two
+// independent factorizations (distinct matrices, each on its own worker
+// pool) run at the same time, sharing the process-wide dense.Workspace
+// sync.Pool, the packed-GEMM packing-buffer pool and the obs.Default
+// registry. Under -race (scripts/check.sh runs this package with the
+// detector on) any unsynchronized sharing in those pools is flushed
+// out; the factor-accuracy checks pin that concurrent runs also compute
+// the right answers. This is the safety property the long-lived solve
+// service relies on when admission control lets several factorizations
+// proceed at once.
+func TestConcurrentFactorizeRace(t *testing.T) {
+	m1, a1 := rbfMatrix(t, 320, 64, 4, 1e-8)
+	m2, a2 := rbfMatrix(t, 256, 32, 3, 1e-8)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = Factorize(m1, Options{Tol: 1e-8, Trim: true, Workers: 2})
+	}()
+	go func() {
+		defer wg.Done()
+		_, errs[1] = Factorize(m2, Options{Tol: 1e-8, Trim: false, Workers: 2})
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent factorization %d failed: %v", i, err)
+		}
+	}
+	if e := FactorError(m1, a1); e > 1e-6 {
+		t.Fatalf("factor 1 error %g", e)
+	}
+	if e := FactorError(m2, a2); e > 1e-6 {
+		t.Fatalf("factor 2 error %g", e)
+	}
+	// Concurrent solves against the two factors share the workspace pool
+	// too; run a few in parallel and check the answers.
+	var swg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		r := r
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			f, a, n := m1, a1, 320
+			if r%2 == 1 {
+				f, a, n = m2, a2, 256
+			}
+			rhs := dense.NewMatrix(n, 2)
+			for i := 0; i < n; i++ {
+				rhs.Set(i, 0, float64(i%7)-3)
+				rhs.Set(i, 1, float64((i*r)%5))
+			}
+			x := rhs.Clone()
+			Solve(f, x)
+			if res := ResidualNorm(a, x, rhs); res > 1e-5 {
+				t.Errorf("concurrent solve %d residual %g", r, res)
+			}
+		}()
+	}
+	swg.Wait()
+}

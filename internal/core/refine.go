@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"tlrchol/internal/dense"
 	"tlrchol/internal/tilemat"
@@ -18,24 +20,30 @@ type Operator interface {
 	Size() int
 }
 
-// DenseOperator wraps an explicit dense matrix as an Operator.
+// DenseOperator wraps an explicit dense matrix as an Operator. Apply is
+// width-oblivious (GemmDet), matching the solve path.
 type DenseOperator struct{ A *dense.Matrix }
 
 // Apply implements Operator.
 func (d DenseOperator) Apply(x, y *dense.Matrix) {
-	dense.Gemm(dense.NoTrans, dense.NoTrans, 1, d.A, x, 0, y)
+	y.Zero()
+	dense.GemmDet(dense.NoTrans, dense.NoTrans, 1, d.A, x, y)
 }
 
 // Size implements Operator.
 func (d DenseOperator) Size() int { return d.A.Rows }
 
 // TLROperator applies the compressed (unfactorized) TLR matrix as an
-// Operator — useful when the dense operator was never assembled.
+// Operator — useful when the dense operator was never assembled. Like
+// the solve itself, Apply is width-oblivious: column j of the output is
+// bitwise independent of how many columns ride in the same call.
 type TLROperator struct{ M *tilemat.Matrix }
 
 // Apply implements Operator.
 func (t TLROperator) Apply(x, y *dense.Matrix) {
 	y.Zero()
+	ws := dense.GetWorkspace()
+	defer ws.Release()
 	nt := t.M.NT
 	seg := func(b *dense.Matrix, i int) *dense.Matrix {
 		return b.View(t.M.RowStart(i), 0, t.M.TileRows(i), b.Cols)
@@ -43,10 +51,10 @@ func (t TLROperator) Apply(x, y *dense.Matrix) {
 	for i := 0; i < nt; i++ {
 		yi := seg(y, i)
 		for j := 0; j <= i; j++ {
-			tileMulAdd(t.M.At(i, j), false, seg(x, j), yi)
+			tileMulAcc(t.M.At(i, j), false, 1, seg(x, j), yi, ws)
 			if j < i {
 				// Symmetric counterpart: y_j += T_ijᵀ · x_i.
-				tileMulAdd(t.M.At(i, j), true, seg(x, i), seg(y, j))
+				tileMulAcc(t.M.At(i, j), true, 1, seg(x, i), seg(y, j), ws)
 			}
 		}
 	}
@@ -57,11 +65,18 @@ func (t TLROperator) Size() int { return t.M.N }
 
 // RefineResult reports an iterative refinement run.
 type RefineResult struct {
-	// Iterations actually performed (≤ MaxIter).
+	// Iterations actually performed (≤ MaxIter): the sweep count until
+	// every column met the target, or MaxIter.
 	Iterations int
-	// Residuals holds ‖b − A·x‖_F / ‖b‖_F after each iteration,
-	// starting with the initial solve.
+	// Residuals holds the aggregate ‖b − A·x‖_F / ‖b‖_F after each
+	// iteration, starting with the initial solve.
 	Residuals []float64
+	// ColIterations counts the correction sweeps applied to each column
+	// (columns freeze individually once they meet the target).
+	ColIterations []int
+	// ColResiduals holds the final per-column relative residual
+	// ‖b_j − A·x_j‖₂ / ‖b_j‖₂ (0 for all-zero right-hand sides).
+	ColResiduals []float64
 }
 
 // Refine improves a TLR-factored solve by classical iterative
@@ -73,42 +88,111 @@ type RefineResult struct {
 // aggressively compressed factorization — letting the factorization
 // run at a loose (cheap) threshold. b is overwritten with the refined
 // solution.
+//
+// Convergence is tracked per column: a column that meets the target is
+// frozen (no further corrections are applied to it) while the rest of
+// the block keeps sweeping. Because the solve and operator kernels are
+// width-oblivious, a frozen column's trajectory — which sweeps it saw
+// and its final bits — is identical whether it was refined alone or
+// batched with other right-hand sides. The refinement stops once every
+// column has met the target or maxIter sweeps have run.
 func Refine(f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (RefineResult, error) {
+	return RefineCtx(context.Background(), f, op, b, maxIter, target)
+}
+
+// RefineCtx is Refine with cooperative cancellation, checked at the
+// same granularity as SolveCtx. On a context error b holds a partially
+// refined state and must be discarded.
+func RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (RefineResult, error) {
 	if op.Size() != f.N || b.Rows != f.N {
 		return RefineResult{}, fmt.Errorf("core: Refine dimension mismatch")
 	}
 	if maxIter < 1 {
 		maxIter = 1
 	}
+	nrhs := b.Cols
 	rhs := b.Clone()
-	bNorm := rhs.FrobNorm()
-	if bNorm == 0 {
-		return RefineResult{Iterations: 0}, nil
+	bNorm := columnNorms(rhs)
+	res := RefineResult{
+		ColIterations: make([]int, nrhs),
+		ColResiduals:  make([]float64, nrhs),
 	}
-	// Initial solve.
-	Solve(f, b)
-	var res RefineResult
-	r := dense.NewMatrix(b.Rows, b.Cols)
-	for it := 0; it < maxIter; it++ {
+	active := make([]bool, nrhs)
+	nActive := 0
+	var bTotSq float64
+	for j, v := range bNorm {
+		if v > 0 {
+			active[j] = true
+			nActive++
+		}
+		bTotSq += v * v
+	}
+	bTot := math.Sqrt(bTotSq)
+	if nActive == 0 {
+		// All-zero right-hand sides: nothing to refine, b stays as given.
+		return res, nil
+	}
+	// Initial solve. Zero columns pass through exactly (the substitution
+	// kernels map zero columns to zero columns bit for bit).
+	if err := SolveCtx(ctx, f, b); err != nil {
+		return res, err
+	}
+	aggRel := func(rn []float64) float64 {
+		var s float64
+		for _, v := range rn {
+			s += v * v
+		}
+		return math.Sqrt(s) / bTot
+	}
+	r := dense.NewMatrix(b.Rows, nrhs)
+	residualInto := func() []float64 {
 		// r = rhs − A·x.
 		op.Apply(b, r)
 		r.Scale(-1)
 		r.Add(1, rhs)
-		rel := r.FrobNorm() / bNorm
-		res.Residuals = append(res.Residuals, rel)
+		return columnNorms(r)
+	}
+	for it := 0; it < maxIter; it++ {
+		rNorm := residualInto()
+		res.Residuals = append(res.Residuals, aggRel(rNorm))
 		res.Iterations = it
-		if rel <= target {
+		for j := range active {
+			if !active[j] {
+				continue
+			}
+			rel := rNorm[j] / bNorm[j]
+			res.ColResiduals[j] = rel
+			if rel <= target {
+				active[j] = false
+				nActive--
+			}
+		}
+		if nActive == 0 {
 			return res, nil
 		}
-		// x += f⁻¹·r.
-		Solve(f, r)
-		b.Add(1, r)
+		// x += f⁻¹·r, applied only to the still-active columns so that
+		// converged columns keep their exact converged bits.
+		if err := SolveCtx(ctx, f, r); err != nil {
+			return res, err
+		}
+		for j := range active {
+			if !active[j] {
+				continue
+			}
+			for i := 0; i < b.Rows; i++ {
+				b.Set(i, j, b.At(i, j)+r.At(i, j))
+			}
+			res.ColIterations[j]++
+		}
 	}
 	// Final residual.
-	op.Apply(b, r)
-	r.Scale(-1)
-	r.Add(1, rhs)
-	res.Residuals = append(res.Residuals, r.FrobNorm()/bNorm)
+	rNorm := residualInto()
+	res.Residuals = append(res.Residuals, aggRel(rNorm))
+	for j := range active {
+		if active[j] {
+			res.ColResiduals[j] = rNorm[j] / bNorm[j]
+		}
+	}
 	res.Iterations = maxIter
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"tlrchol/internal/dense"
@@ -13,65 +14,91 @@ import (
 // with the tiled L followed by a backward substitution with Lᵀ. Tile
 // products exploit the compressed format: a rank-k tile applies in
 // O(bk) per right-hand side instead of O(b²).
+//
+// The solve is width-oblivious: every kernel it touches (GemmDet,
+// TrsmDet) chooses its code path without looking at nrhs and computes
+// each output column from its own input column alone, so column j of a
+// blocked multi-RHS solve is bitwise identical to solving that column
+// by itself. The serving layer's RHS batcher (internal/serve) relies on
+// this to coalesce concurrent requests without changing any answer.
 func Solve(f *tilemat.Matrix, b *dense.Matrix) {
+	if err := SolveCtx(context.Background(), f, b); err != nil {
+		// Background contexts never fire; SolveCtx has no other errors.
+		panic(err)
+	}
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is
+// checked between tile-row substitutions (the natural preemption
+// points), and the first cancellation or deadline error is returned.
+// On error b holds a partially substituted state and must be discarded.
+func SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix) error {
 	if b.Rows != f.N {
 		panic("core: Solve right-hand side dimension mismatch")
 	}
 	nrhs := b.Cols
+	ws := dense.GetWorkspace()
+	defer ws.Release()
 	seg := func(i int) *dense.Matrix {
 		return b.View(f.RowStart(i), 0, f.TileRows(i), nrhs)
 	}
 	nt := f.NT
 	// Forward: L·y = b.
 	for i := 0; i < nt; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		bi := seg(i)
 		for j := 0; j < i; j++ {
-			tileMulSub(f.At(i, j), false, seg(j), bi)
+			tileMulAcc(f.At(i, j), false, -1, seg(j), bi, ws)
 		}
-		dense.Trsm(dense.Left, dense.Lower, dense.NoTrans, dense.NonUnit, 1, f.At(i, i).D, bi)
+		dense.TrsmDet(dense.Lower, dense.NoTrans, dense.NonUnit, f.At(i, i).D, bi)
 	}
 	// Backward: Lᵀ·x = y.
 	for i := nt - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		bi := seg(i)
 		for mIdx := i + 1; mIdx < nt; mIdx++ {
-			tileMulSub(f.At(mIdx, i), true, seg(mIdx), bi)
+			tileMulAcc(f.At(mIdx, i), true, -1, seg(mIdx), bi, ws)
 		}
-		dense.Trsm(dense.Left, dense.Lower, dense.Trans, dense.NonUnit, 1, f.At(i, i).D, bi)
+		dense.TrsmDet(dense.Lower, dense.Trans, dense.NonUnit, f.At(i, i).D, bi)
 	}
+	return nil
 }
 
-// tileMulAdd computes dst += op(T)·x where op is Tᵀ when trans is true.
-func tileMulAdd(t *tlr.Tile, trans bool, x, dst *dense.Matrix) {
-	tileMulAcc(t, trans, 1, x, dst)
-}
-
-// tileMulSub computes dst −= op(T)·x where op is Tᵀ when trans is true.
-func tileMulSub(t *tlr.Tile, trans bool, x, dst *dense.Matrix) {
-	tileMulAcc(t, trans, -1, x, dst)
-}
-
-// tileMulAcc computes dst += s·op(T)·x exploiting the tile format.
-func tileMulAcc(t *tlr.Tile, trans bool, s float64, x, dst *dense.Matrix) {
+// tileMulAcc computes dst += s·op(T)·x exploiting the tile format,
+// where op is Tᵀ when trans is true. The low-rank path takes its k×nrhs
+// temporary from ws (nil falls back to the heap). All products go
+// through the width-oblivious GemmDet so the result column j depends
+// only on x column j, never on x.Cols.
+func tileMulAcc(t *tlr.Tile, trans bool, s float64, x, dst *dense.Matrix, ws *dense.Workspace) {
 	switch t.Kind {
 	case tlr.Zero:
 		return
 	case tlr.Dense:
 		if trans {
-			dense.Gemm(dense.Trans, dense.NoTrans, s, t.D, x, 1, dst)
+			dense.GemmDet(dense.Trans, dense.NoTrans, s, t.D, x, dst)
 		} else {
-			dense.Gemm(dense.NoTrans, dense.NoTrans, s, t.D, x, 1, dst)
+			dense.GemmDet(dense.NoTrans, dense.NoTrans, s, t.D, x, dst)
 		}
 	case tlr.LowRank:
 		k := t.Rank()
-		tmp := dense.NewMatrix(k, x.Cols)
+		var tmp *dense.Matrix
+		if ws != nil {
+			tmp = ws.Matrix(k, x.Cols) // zeroed by the workspace
+		} else {
+			tmp = dense.NewMatrix(k, x.Cols)
+		}
 		if trans {
 			// Tᵀ·x = V·(Uᵀ·x)
-			dense.Gemm(dense.Trans, dense.NoTrans, 1, t.U, x, 0, tmp)
-			dense.Gemm(dense.NoTrans, dense.NoTrans, s, t.V, tmp, 1, dst)
+			dense.GemmDet(dense.Trans, dense.NoTrans, 1, t.U, x, tmp)
+			dense.GemmDet(dense.NoTrans, dense.NoTrans, s, t.V, tmp, dst)
 		} else {
 			// T·x = U·(Vᵀ·x)
-			dense.Gemm(dense.Trans, dense.NoTrans, 1, t.V, x, 0, tmp)
-			dense.Gemm(dense.NoTrans, dense.NoTrans, s, t.U, tmp, 1, dst)
+			dense.GemmDet(dense.Trans, dense.NoTrans, 1, t.V, x, tmp)
+			dense.GemmDet(dense.NoTrans, dense.NoTrans, s, t.U, tmp, dst)
 		}
 	}
 }
@@ -91,6 +118,51 @@ func ResidualNorm(a, x, b *dense.Matrix) float64 {
 	r := b.Clone()
 	dense.Gemm(dense.NoTrans, dense.NoTrans, -1, a, x, 1, r)
 	return r.FrobNorm() / b.FrobNorm()
+}
+
+// OperatorResidual returns ‖A·x − b‖_F / ‖b‖_F with A applied through
+// an Operator — the residual check when the dense matrix was never
+// assembled (the serving layer keeps only the compressed operator).
+func OperatorResidual(op Operator, x, b *dense.Matrix) float64 {
+	r := dense.NewMatrix(b.Rows, b.Cols)
+	op.Apply(x, r)
+	r.Scale(-1)
+	r.Add(1, b)
+	return r.FrobNorm() / b.FrobNorm()
+}
+
+// ColumnResiduals returns the per-column relative residuals
+// ‖A·x_j − b_j‖₂ / ‖b_j‖₂ with A applied through op. A zero right-hand
+// side column reports 0. The solve service uses this to report each
+// batched request its own residual.
+func ColumnResiduals(op Operator, x, b *dense.Matrix) []float64 {
+	r := dense.NewMatrix(b.Rows, b.Cols)
+	op.Apply(x, r)
+	r.Scale(-1)
+	r.Add(1, b)
+	rn, bn := columnNorms(r), columnNorms(b)
+	out := make([]float64, b.Cols)
+	for j := range out {
+		if bn[j] > 0 {
+			out[j] = rn[j] / bn[j]
+		}
+	}
+	return out
+}
+
+// columnNorms returns the Euclidean norm of each column of m.
+func columnNorms(m *dense.Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v * v
+		}
+	}
+	for j := range out {
+		out[j] = math.Sqrt(out[j])
+	}
+	return out
 }
 
 // LogDet returns log det(A) = 2·Σ log L_ii from a TLR Cholesky factor

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+// factorizedRBF builds and factorizes an RBF problem, returning the
+// factor, the unfactorized compressed operator and the dense reference.
+func factorizedRBF(t *testing.T, n, b int) (*tilemat.Matrix, *tilemat.Matrix, *dense.Matrix) {
+	t.Helper()
+	m, a := rbfMatrix(t, n, b, 4, 1e-8)
+	op := m.Clone()
+	if _, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	return m, op, a
+}
+
+// TestSolveMultiRHSBitwise is the multi-RHS hardening test: a blocked
+// multi-column Solve must reproduce each column's solo solve bit for
+// bit, including on uneven tile grids (N not a multiple of the tile
+// size, so the last tile row is ragged). This is the property the RHS
+// batcher of the serve layer depends on.
+func TestSolveMultiRHSBitwise(t *testing.T) {
+	cases := []struct{ n, b int }{
+		{256, 64},  // even grid
+		{300, 64},  // ragged last tile (44 rows)
+		{257, 64},  // ragged last tile (1 row)
+		{192, 128}, // ragged, NT=2
+	}
+	for _, tc := range cases {
+		f, _, a := factorizedRBF(t, tc.n, tc.b)
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		for _, w := range []int{1, 2, 3, 5, 8, 16} {
+			rhs := dense.Random(rng, tc.n, w)
+			blocked := rhs.Clone()
+			Solve(f, blocked)
+			for j := 0; j < w; j++ {
+				solo := dense.NewMatrix(tc.n, 1)
+				for i := 0; i < tc.n; i++ {
+					solo.Set(i, 0, rhs.At(i, j))
+				}
+				Solve(f, solo)
+				for i := 0; i < tc.n; i++ {
+					got, want := blocked.At(i, j), solo.At(i, 0)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("n=%d b=%d: blocked solve column %d of %d differs bitwise from solo at row %d: %x vs %x",
+							tc.n, tc.b, j, w, i, math.Float64bits(got), math.Float64bits(want))
+					}
+				}
+			}
+			// And the blocked solve must actually solve the system.
+			if res := ResidualNorm(a, blocked, rhs); res > 1e-6 {
+				t.Fatalf("n=%d w=%d: blocked solve residual %g", tc.n, w, res)
+			}
+		}
+	}
+}
+
+// TestRefineMultiRHSBitwise pins the same property for iterative
+// refinement: per-column convergence tracking freezes each column at
+// exactly the sweep its solo run would stop at, so batched refinement
+// returns bitwise-identical columns.
+func TestRefineMultiRHSBitwise(t *testing.T) {
+	n, b := 300, 64 // ragged grid
+	f, op, _ := factorizedRBF(t, n, b)
+	tlrOp := TLROperator{M: op}
+	rng := rand.New(rand.NewSource(5))
+	const w = 5
+	rhs := dense.Random(rng, n, w)
+	// Make column convergence speeds differ: scale some columns down.
+	for i := 0; i < n; i++ {
+		rhs.Set(i, 2, rhs.At(i, 2)*1e-6)
+	}
+	blocked := rhs.Clone()
+	resB, err := Refine(f, tlrOp, blocked, 8, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resB.ColIterations) != w || len(resB.ColResiduals) != w {
+		t.Fatalf("per-column refine reporting missing: %+v", resB)
+	}
+	for j := 0; j < w; j++ {
+		solo := dense.NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			solo.Set(i, 0, rhs.At(i, j))
+		}
+		resS, err := Refine(f, tlrOp, solo, 8, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resS.ColIterations[0] != resB.ColIterations[j] {
+			t.Fatalf("column %d: solo ran %d sweeps, batched %d", j, resS.ColIterations[0], resB.ColIterations[j])
+		}
+		for i := 0; i < n; i++ {
+			got, want := blocked.At(i, j), solo.At(i, 0)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("refined column %d differs bitwise from solo at row %d", j, i)
+			}
+		}
+	}
+}
+
+// TestColumnResiduals checks the per-column residual reporting used by
+// the serve layer, including the zero-column convention.
+func TestColumnResiduals(t *testing.T) {
+	n, b := 256, 64
+	f, op, a := factorizedRBF(t, n, b)
+	rng := rand.New(rand.NewSource(9))
+	rhs := dense.Random(rng, n, 3)
+	for i := 0; i < n; i++ {
+		rhs.Set(i, 1, 0) // zero column
+	}
+	x := rhs.Clone()
+	Solve(f, x)
+	cols := ColumnResiduals(TLROperator{M: op}, x, rhs)
+	if len(cols) != 3 {
+		t.Fatalf("want 3 residuals, got %d", len(cols))
+	}
+	if cols[1] != 0 {
+		t.Fatalf("zero RHS column must report residual 0, got %g", cols[1])
+	}
+	for _, j := range []int{0, 2} {
+		if cols[j] <= 0 || cols[j] > 1e-5 {
+			t.Fatalf("column %d residual out of range: %g", j, cols[j])
+		}
+	}
+	if or := OperatorResidual(DenseOperator{A: a}, x, rhs); or > 1e-5 {
+		t.Fatalf("operator residual %g", or)
+	}
+}
+
+// TestSolveCtxCancelled verifies cooperative cancellation of the solve
+// and refine paths.
+func TestSolveCtxCancelled(t *testing.T) {
+	n, b := 256, 64
+	f, op, _ := factorizedRBF(t, n, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rhs := dense.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		rhs.Set(i, 0, 1)
+	}
+	if err := SolveCtx(ctx, f, rhs.Clone()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx: want context.Canceled, got %v", err)
+	}
+	if _, err := RefineCtx(ctx, f, TLROperator{M: op}, rhs.Clone(), 3, 1e-12); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RefineCtx: want context.Canceled, got %v", err)
+	}
+}
+
+// TestFactorizeCtxCancelled verifies cancellation aborts both the
+// sequential and the parallel factorization paths.
+func TestFactorizeCtxCancelled(t *testing.T) {
+	for _, seq := range []bool{true, false} {
+		m, _ := rbfMatrix(t, 256, 64, 4, 1e-8)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Sequential: seq, Context: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sequential=%v: want context.Canceled, got %v", seq, err)
+		}
+	}
+}
+
+// BenchmarkSolveMultiRHS compares one blocked 16-column solve against
+// 16 single-column solves — the BLAS-3 win the RHS batcher exists to
+// harvest.
+func BenchmarkSolveMultiRHS(bb *testing.B) {
+	n, tile, w := 2048, 128, 16
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 4 * rbf.DefaultShape(pts), Nugget: 1e-6})
+	m, _ := tilemat.FromAssembler(n, tile, prob.Block, 1e-8, 0)
+	if _, err := Factorize(m, Options{Tol: 1e-8, Trim: true, Sequential: true}); err != nil {
+		bb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rhs := dense.Random(rng, n, w)
+	bb.Run("Blocked", func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			x := rhs.Clone()
+			Solve(m, x)
+		}
+	})
+	bb.Run("Looped", func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			x := rhs.Clone()
+			for j := 0; j < w; j++ {
+				Solve(m, x.View(0, j, n, 1))
+			}
+		}
+	})
+}

@@ -143,6 +143,34 @@ func gemmSmall(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
 	}
 }
 
+// GemmDet accumulates C += alpha·op(A)·op(B) with *column-oblivious*
+// kernel dispatch: the blocked-vs-direct decision looks only at op(A)'s
+// shape, never at op(B)'s column count. Combined with the facts that
+// both underlying kernels accumulate each output column from its own
+// op(B) column alone, in the same k-order, and that edge micro-tiles are
+// computed full-size against zero padding (kernel.go), this makes column
+// j of the result bitwise identical whether it rides in a 1-column or a
+// 1000-column call. The triangular-solve service path depends on this
+// property: a batched multi-RHS solve must reproduce each request's
+// solo solve exactly. Gemm itself keeps the flop-product dispatch,
+// which is faster for genuinely small products but width-dependent.
+func GemmDet(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
+	ar, ac := opDims(tA, a)
+	br, bc := opDims(tB, b)
+	if ac != br || c.Rows != ar || c.Cols != bc {
+		panic(fmt.Sprintf("dense: GemmDet dims op(A)=%dx%d op(B)=%dx%d C=%dx%d", ar, ac, br, bc, c.Rows, c.Cols))
+	}
+	if alpha == 0 || ac == 0 || bc == 0 {
+		return
+	}
+	// Dispatch as if op(B) always carried one micro-tile of columns.
+	if ar*ac*gemmNR >= gemmMinFlops {
+		gemmPacked(tA, tB, alpha, a, b, c)
+		return
+	}
+	gemmSmall(tA, tB, alpha, a, b, c)
+}
+
 // syrkBlock is the row-block size of the blocked SYRK and of the
 // triangular GEMM (GemmLowerNT): off-diagonal blocks of this size go
 // through the packed GEMM core, diagonal blocks through direct loops.
@@ -306,14 +334,41 @@ func Trsm(side Side, uplo UpLo, tA TransFlag, diag Diag, alpha float64, a, b *Ma
 	if alpha != 1 {
 		b.Scale(alpha)
 	}
-	trsmRec(side, uplo, tA, diag, a, b)
+	trsmRec(side, uplo, tA, diag, a, b, false)
+}
+
+// TrsmDet solves op(A)·X = B in place like Trsm(Left, uplo, tA, diag,
+// 1, a, b), but routes the recursion's off-diagonal updates through
+// GemmDet so that column j of the solution is bitwise identical for any
+// b.Cols. The recursion itself splits on A's order alone and the
+// substitution base case processes each column independently, so with
+// width-oblivious GEMM dispatch the whole solve is width-oblivious —
+// the property the RHS-batching solve service relies on.
+func TrsmDet(uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix) {
+	if a.Rows != a.Cols {
+		panic("dense: TrsmDet A not square")
+	}
+	if b.Rows != a.Rows {
+		panic(fmt.Sprintf("dense: TrsmDet dims A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	trsmRec(Left, uplo, tA, diag, a, b, true)
+}
+
+// recGemm is the off-diagonal update of the TRSM recursion: the
+// width-oblivious path uses GemmDet, the standard path plain Gemm.
+func recGemm(det bool, tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
+	if det {
+		GemmDet(tA, tB, alpha, a, b, c)
+		return
+	}
+	Gemm(tA, tB, alpha, a, b, 1, c)
 }
 
 // trsmRec recursively splits the triangular system: solve one half,
 // eliminate its contribution from the other half with a GEMM, solve the
 // remaining half. The traversal order depends on the effective
 // orientation (a transposed Lower solve walks like an Upper one).
-func trsmRec(side Side, uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix) {
+func trsmRec(side Side, uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix, det bool) {
 	n := a.Rows
 	if n <= trsmBlock {
 		trsmUnblocked(side, uplo, tA, diag, a, b)
@@ -330,42 +385,42 @@ func trsmRec(side Side, uplo UpLo, tA TransFlag, diag Diag, a, b *Matrix) {
 		b1 := b.viewVal(0, 0, n1, b.Cols)
 		b2 := b.viewVal(n1, 0, n2, b.Cols)
 		if lower {
-			trsmRec(side, uplo, tA, diag, &a11, &b1)
+			trsmRec(side, uplo, tA, diag, &a11, &b1, det)
 			if uplo == Lower {
-				Gemm(NoTrans, NoTrans, -1, &a21, &b1, 1, &b2)
+				recGemm(det, NoTrans, NoTrans, -1, &a21, &b1, &b2)
 			} else { // Upper/Trans: op(A)₂₁ = A₁₂ᵀ
-				Gemm(Trans, NoTrans, -1, &a12, &b1, 1, &b2)
+				recGemm(det, Trans, NoTrans, -1, &a12, &b1, &b2)
 			}
-			trsmRec(side, uplo, tA, diag, &a22, &b2)
+			trsmRec(side, uplo, tA, diag, &a22, &b2, det)
 		} else {
-			trsmRec(side, uplo, tA, diag, &a22, &b2)
+			trsmRec(side, uplo, tA, diag, &a22, &b2, det)
 			if uplo == Upper {
-				Gemm(NoTrans, NoTrans, -1, &a12, &b2, 1, &b1)
+				recGemm(det, NoTrans, NoTrans, -1, &a12, &b2, &b1)
 			} else { // Lower/Trans: op(A)₁₂ = A₂₁ᵀ
-				Gemm(Trans, NoTrans, -1, &a21, &b2, 1, &b1)
+				recGemm(det, Trans, NoTrans, -1, &a21, &b2, &b1)
 			}
-			trsmRec(side, uplo, tA, diag, &a11, &b1)
+			trsmRec(side, uplo, tA, diag, &a11, &b1, det)
 		}
 		return
 	}
 	b1 := b.viewVal(0, 0, b.Rows, n1)
 	b2 := b.viewVal(0, n1, b.Rows, n2)
 	if lower {
-		trsmRec(side, uplo, tA, diag, &a22, &b2)
+		trsmRec(side, uplo, tA, diag, &a22, &b2, det)
 		if uplo == Lower {
-			Gemm(NoTrans, NoTrans, -1, &b2, &a21, 1, &b1)
+			recGemm(det, NoTrans, NoTrans, -1, &b2, &a21, &b1)
 		} else { // Upper/Trans: op(A)₂₁ = A₁₂ᵀ
-			Gemm(NoTrans, Trans, -1, &b2, &a12, 1, &b1)
+			recGemm(det, NoTrans, Trans, -1, &b2, &a12, &b1)
 		}
-		trsmRec(side, uplo, tA, diag, &a11, &b1)
+		trsmRec(side, uplo, tA, diag, &a11, &b1, det)
 	} else {
-		trsmRec(side, uplo, tA, diag, &a11, &b1)
+		trsmRec(side, uplo, tA, diag, &a11, &b1, det)
 		if uplo == Upper {
-			Gemm(NoTrans, NoTrans, -1, &b1, &a12, 1, &b2)
+			recGemm(det, NoTrans, NoTrans, -1, &b1, &a12, &b2)
 		} else { // Lower/Trans: op(A)₁₂ = A₂₁ᵀ
-			Gemm(NoTrans, Trans, -1, &b1, &a21, 1, &b2)
+			recGemm(det, NoTrans, Trans, -1, &b1, &a21, &b2)
 		}
-		trsmRec(side, uplo, tA, diag, &a22, &b2)
+		trsmRec(side, uplo, tA, diag, &a22, &b2, det)
 	}
 }
 

@@ -1,0 +1,101 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// column extracts column j of m as a fresh 1-column matrix.
+func column(m *Matrix, j int) *Matrix {
+	out := NewMatrix(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		out.Set(i, 0, m.At(i, j))
+	}
+	return out
+}
+
+// TestGemmDetColumnOblivious pins the property the solve batcher relies
+// on: GemmDet's column j is bitwise identical whether the call carries
+// that column alone or alongside any number of others. Sizes straddle
+// the packed-kernel threshold and exercise ragged widths around the
+// micro-tile (gemmNR) boundary.
+func TestGemmDetColumnOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []struct{ m, k int }{{3, 5}, {8, 8}, {17, 9}, {64, 64}, {100, 37}, {128, 128}}
+	widths := []int{1, 2, 3, 4, 5, 7, 8, 16, 33}
+	for _, tA := range []TransFlag{NoTrans, Trans} {
+		for _, d := range dims {
+			var a *Matrix
+			if tA == NoTrans {
+				a = Random(rng, d.m, d.k)
+			} else {
+				a = Random(rng, d.k, d.m)
+			}
+			for _, w := range widths {
+				b := Random(rng, d.k, w)
+				cWide := Random(rng, d.m, w)
+				cWideRef := cWide.Clone()
+				GemmDet(tA, NoTrans, -1, a, b, cWide)
+				// Reference: plain Gemm accumulate on the same inputs.
+				Gemm(tA, NoTrans, -1, a, b, 1, cWideRef)
+				if FrobDiff(cWide, cWideRef) > 1e-12*cWideRef.FrobNorm() {
+					t.Fatalf("GemmDet diverges from Gemm numerically (m=%d k=%d w=%d)", d.m, d.k, w)
+				}
+				start := Random(rng, d.m, w)
+				full := start.Clone()
+				GemmDet(tA, NoTrans, 1, a, b, full)
+				for j := 0; j < w; j++ {
+					cj := column(start, j)
+					GemmDet(tA, NoTrans, 1, a, column(b, j), cj)
+					for i := 0; i < d.m; i++ {
+						got, want := full.At(i, j), cj.At(i, 0)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("GemmDet column %d of %d differs bitwise at row %d: wide=%x solo=%x (tA=%d m=%d k=%d)",
+								j, w, i, math.Float64bits(got), math.Float64bits(want), tA, d.m, d.k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrsmDetColumnOblivious pins the same property for the triangular
+// solve: TrsmDet on an N×w block must reproduce each column's solo
+// solve bit for bit, across the recursion threshold and for both the
+// forward (NoTrans) and backward (Trans) substitutions.
+func TestTrsmDetColumnOblivious(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{5, 31, 32, 33, 64, 100, 128} {
+		// Well-conditioned lower-triangular A.
+		a := Random(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, 2+math.Abs(a.At(i, i)))
+		}
+		a.TriLower()
+		for _, tA := range []TransFlag{NoTrans, Trans} {
+			for _, w := range []int{1, 2, 3, 4, 5, 9, 17} {
+				b := Random(rng, n, w)
+				full := b.Clone()
+				TrsmDet(Lower, tA, NonUnit, a, full)
+				// Sanity: must agree with the standard Trsm numerically.
+				ref := b.Clone()
+				Trsm(Left, Lower, tA, NonUnit, 1, a, ref)
+				if FrobDiff(full, ref) > 1e-10*ref.FrobNorm() {
+					t.Fatalf("TrsmDet diverges from Trsm numerically (n=%d w=%d)", n, w)
+				}
+				for j := 0; j < w; j++ {
+					solo := column(b, j)
+					TrsmDet(Lower, tA, NonUnit, a, solo)
+					for i := 0; i < n; i++ {
+						got, want := full.At(i, j), solo.At(i, 0)
+						if math.Float64bits(got) != math.Float64bits(want) {
+							t.Fatalf("TrsmDet column %d of %d differs bitwise at row %d (n=%d tA=%d)", j, w, i, n, tA)
+						}
+					}
+				}
+			}
+		}
+	}
+}

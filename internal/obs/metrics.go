@@ -244,6 +244,59 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	return s
 }
 
+// Delta returns the per-metric difference s − prev: the window view a
+// long-lived process needs. Counters and histograms accumulate forever
+// across jobs; taking a snapshot at each reporting boundary and
+// subtracting the previous one yields correct per-window rates after
+// thousands of requests, without the races a destructive Reset would
+// invite (concurrent incrementers would lose updates between read and
+// clear). Matching is by name; a metric absent from prev (created
+// during the window) reports its full value. Subtraction saturates at
+// zero, so a caller pairing snapshots from different registries cannot
+// underflow. Gauges are last-value metrics and are passed through
+// unchanged — note their Max remains the process-lifetime high-water
+// mark, not the window's.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	sub := func(a, b uint64) uint64 {
+		if b > a {
+			return 0
+		}
+		return a - b
+	}
+	pc := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		pc[c.Name] = c.Value
+	}
+	ph := make(map[string]HistSnapshot, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		ph[h.Name] = h
+	}
+	out := MetricsSnapshot{
+		Counters:   make([]CounterValue, len(s.Counters)),
+		Gauges:     append([]GaugeValue(nil), s.Gauges...),
+		Histograms: make([]HistSnapshot, len(s.Histograms)),
+	}
+	for i, c := range s.Counters {
+		out.Counters[i] = CounterValue{Name: c.Name, Value: sub(c.Value, pc[c.Name])}
+	}
+	for i, h := range s.Histograms {
+		d := HistSnapshot{Name: h.Name, Bounds: h.Bounds, Counts: append([]uint64(nil), h.Counts...)}
+		if p, ok := ph[h.Name]; ok && len(p.Counts) == len(h.Counts) {
+			for b := range d.Counts {
+				d.Counts[b] = sub(h.Counts[b], p.Counts[b])
+			}
+			d.Sum = sub(h.Sum, p.Sum)
+		} else {
+			d.Sum = h.Sum
+		}
+		for _, c := range d.Counts {
+			d.Count += c
+		}
+		out.Histograms[i] = d
+	}
+	return out
+}
+
 // Map renders the snapshot as plain values for expvar publication.
 func (r *Registry) Map() map[string]any {
 	s := r.Snapshot()

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tilemat"
+)
+
+// buildTestFactor factorizes a small RBF problem through the same path
+// the server uses.
+func buildTestFactor(t testing.TB, n int) *Factor {
+	t.Helper()
+	sp := testSpec(n)
+	pts := sp.points()
+	fp := Fingerprint(sp, pts)
+	prob, _ := sp.problem(pts)
+	m, _ := tilemat.FromAssembler(sp.N, sp.Tile, prob.Block, sp.Tol, 0)
+	op := m.Clone()
+	if _, err := core.Factorize(m, core.Options{Tol: sp.Tol, Trim: true, Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	return &Factor{FP: fp, Spec: sp, L: m, Op: op, SizeBytes: int64(m.Bytes() + op.Bytes())}
+}
+
+// TestBatcherCoalesce: 8 concurrent single-column solves against one
+// factor must coalesce into one blocked solve (the batch fills, so no
+// window timing is involved) and every column must match its solo
+// solve bit for bit.
+func TestBatcherCoalesce(t *testing.T) {
+	const n, k = 256, 8
+	f := buildTestFactor(t, n)
+	b := NewBatcher(2*time.Second, k, time.Minute, obs.NewRegistry(4))
+	rng := rand.New(rand.NewSource(3))
+	rhs := dense.Random(rng, n, k)
+
+	results := make([]*dense.Matrix, k)
+	outs := make([]solveOutcome, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		j := j
+		col := dense.NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			col.Set(i, 0, rhs.At(i, j))
+		}
+		results[j] = col
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[j] = b.Solve(context.Background(), f, SolveParams{}, col)
+		}()
+	}
+	wg.Wait()
+	for j := 0; j < k; j++ {
+		if outs[j].err != nil {
+			t.Fatalf("job %d failed: %v", j, outs[j].err)
+		}
+		if outs[j].batchCols != k {
+			t.Fatalf("job %d ran in a batch of %d, want %d", j, outs[j].batchCols, k)
+		}
+		if len(outs[j].residuals) != 1 || outs[j].residuals[0] > 1e-4 {
+			t.Fatalf("job %d residuals: %v", j, outs[j].residuals)
+		}
+		solo := dense.NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			solo.Set(i, 0, rhs.At(i, j))
+		}
+		core.Solve(f.L, solo)
+		for i := 0; i < n; i++ {
+			if math.Float64bits(results[j].At(i, 0)) != math.Float64bits(solo.At(i, 0)) {
+				t.Fatalf("batched column %d differs bitwise from solo solve at row %d", j, i)
+			}
+		}
+	}
+}
+
+// TestBatcherRefine checks the refinement path carries per-column
+// iteration counts through the batch.
+func TestBatcherRefine(t *testing.T) {
+	const n = 256
+	f := buildTestFactor(t, n)
+	b := NewBatcher(0, 8, time.Minute, obs.NewRegistry(4))
+	rng := rand.New(rand.NewSource(4))
+	cols := dense.Random(rng, n, 2)
+	out := b.Solve(context.Background(), f, SolveParams{Refine: true, MaxIter: 10, Target: 1e-9}, cols)
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if len(out.iterations) != 2 || len(out.residuals) != 2 {
+		t.Fatalf("refine outcome incomplete: %+v", out)
+	}
+	for j, r := range out.residuals {
+		if r > 1e-9 {
+			t.Fatalf("column %d did not refine to target: %g", j, r)
+		}
+	}
+}
+
+// TestBatcherCtxAbandon: a caller whose context dies mid-wait gets the
+// context error while the batch still completes for the others.
+func TestBatcherCtxAbandon(t *testing.T) {
+	const n = 256
+	f := buildTestFactor(t, n)
+	b := NewBatcher(300*time.Millisecond, 8, time.Minute, obs.NewRegistry(4))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	var abandoned, kept solveOutcome
+	wg.Add(2)
+	go func() { // leader holds the window open
+		defer wg.Done()
+		cols := dense.NewMatrix(n, 1)
+		cols.Set(0, 0, 1)
+		kept = b.Solve(context.Background(), f, SolveParams{}, cols)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		cols := dense.NewMatrix(n, 1)
+		cols.Set(1, 0, 1)
+		abandoned = b.Solve(ctx, f, SolveParams{}, cols)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if abandoned.err != context.Canceled {
+		t.Fatalf("abandoned job: want context.Canceled, got %v", abandoned.err)
+	}
+	if kept.err != nil || len(kept.residuals) != 1 {
+		t.Fatalf("surviving job must complete: %+v", kept)
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tilemat"
+)
+
+// Factor is a cached factorization: the Cholesky factor itself plus
+// the unfactorized compressed operator, which solves need for residual
+// evaluation and iterative refinement. Both matrices are immutable
+// once the entry is published (solves never write into the factor).
+type Factor struct {
+	FP   string
+	Spec ProblemSpec
+	// L is the factorized tile matrix.
+	L *tilemat.Matrix
+	// Op is the unfactorized compressed operator (for TLROperator).
+	Op *tilemat.Matrix
+	// SizeBytes charges both matrices against the cache budget.
+	SizeBytes int64
+	// FactorStats summarizes the factorization that produced L.
+	FactorStats FactorStats
+}
+
+// FactorStats is the per-factorization report returned to clients.
+type FactorStats struct {
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	CompressMS    float64 `json:"compress_ms"`
+	Density       float64 `json:"density"`
+	MaxRank       int     `json:"max_rank"`
+	TasksTrimmed  int     `json:"tasks_trimmed"`
+	TasksExecuted int     `json:"tasks_executed"`
+}
+
+// cacheEntry is one slot of the factor cache. ready is closed exactly
+// once, after f/err are set; every reader waits on it first, which
+// also publishes the fields (channel-close happens-before receive).
+type cacheEntry struct {
+	f     *Factor
+	err   error
+	ready chan struct{}
+	// elem is the entry's LRU position; nil while the build is in
+	// flight (in-flight builds are never evicted).
+	elem *list.Element
+}
+
+// CacheStats is the read-only view reported by /v1/stats.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Waits     uint64 `json:"singleflight_waits"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// FactorCache maps problem fingerprints to factorizations with
+// single-flight build deduplication and LRU eviction under a byte
+// budget. The single-flight property is the service's core economy:
+// when a burst of identical requests arrives, exactly one factorization
+// runs and every other request waits on its ready channel.
+type FactorCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[string]*cacheEntry
+	lru     *list.List // of fingerprint strings, front = most recent
+
+	hits, misses, waits, evictions *obs.Counter
+	bytesGauge, entriesGauge       *obs.Gauge
+}
+
+// NewFactorCache returns a cache holding at most budget bytes of
+// factors (≤ 0 means 1 GiB), reporting to reg.
+func NewFactorCache(budget int64, reg *obs.Registry) *FactorCache {
+	if budget <= 0 {
+		budget = 1 << 30
+	}
+	return &FactorCache{
+		budget:       budget,
+		entries:      map[string]*cacheEntry{},
+		lru:          list.New(),
+		hits:         reg.Counter("serve.cache.hits"),
+		misses:       reg.Counter("serve.cache.misses"),
+		waits:        reg.Counter("serve.cache.waits"),
+		evictions:    reg.Counter("serve.cache.evictions"),
+		bytesGauge:   reg.Gauge("serve.cache.bytes"),
+		entriesGauge: reg.Gauge("serve.cache.entries"),
+	}
+}
+
+// Get returns the factor for fp, building it with build on a miss.
+// Concurrent calls for the same fp share one build: the first caller
+// runs build, the rest block on the entry's ready channel (or their
+// own ctx). cached reports whether this caller avoided running build.
+// A failed build is not cached; the error propagates to every waiter
+// of that flight and the next Get retries.
+func (c *FactorCache) Get(ctx context.Context, fp string, build func() (*Factor, error)) (f *Factor, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[fp]; ok {
+		building := e.elem == nil
+		if !building {
+			c.lru.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		if building {
+			c.waits.Add(0, 1)
+		} else {
+			c.hits.Add(0, 1)
+		}
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		return e.f, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[fp] = e
+	c.mu.Unlock()
+	c.misses.Add(0, 1)
+
+	f, err = build()
+
+	c.mu.Lock()
+	if err != nil {
+		delete(c.entries, fp)
+	} else {
+		e.f = f
+		e.elem = c.lru.PushFront(fp)
+		c.used += f.SizeBytes
+		c.evictLocked()
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	e.err = err
+	close(e.ready)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, false, nil
+}
+
+// Lookup returns a completed factor without building, for requests
+// that name a fingerprint directly. In-flight builds count as absent
+// (a solve with no spec cannot wait on a build it could not start).
+func (c *FactorCache) Lookup(fp string) (*Factor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.f, true
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// budget is met, always keeping at least one so a single factor larger
+// than the budget still caches (it would otherwise thrash forever).
+func (c *FactorCache) evictLocked() {
+	for c.used > c.budget && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		fp := back.Value.(string)
+		e := c.entries[fp]
+		c.lru.Remove(back)
+		delete(c.entries, fp)
+		c.used -= e.f.SizeBytes
+		c.evictions.Add(0, 1)
+	}
+}
+
+func (c *FactorCache) updateGaugesLocked() {
+	c.bytesGauge.Set(c.used)
+	c.entriesGauge.Set(int64(c.lru.Len()))
+}
+
+// Stats reports the cache's current occupancy and lifetime counters.
+func (c *FactorCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Waits:     c.waits.Value(),
+		Evictions: c.evictions.Value(),
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"tlrchol/internal/rbf"
+)
+
+// ProblemSpec is the wire description of a kernel-matrix problem. Two
+// requests with the same spec denote the same SPD operator, so its
+// fingerprint is the factor-cache key: one factorization is amortized
+// over every solve that names the same spec — the reuse pattern of the
+// paper's mesh-deformation application, where one boundary operator
+// serves many deformation right-hand sides.
+type ProblemSpec struct {
+	// N is the matrix dimension (number of boundary mesh points).
+	N int `json:"n"`
+	// Tile is the TLR tile size.
+	Tile int `json:"tile"`
+	// Tol is the compression/factorization accuracy threshold.
+	Tol float64 `json:"tol"`
+	// MaxRank caps stored tile ranks (0 = unlimited).
+	MaxRank int `json:"maxrank,omitempty"`
+	// Kernel selects the RBF: gaussian (default), wendland, matern32 or
+	// matern52.
+	Kernel string `json:"kernel,omitempty"`
+	// DeltaFactor scales the shape parameter as a multiple of the
+	// paper's default ½·min-distance (default 2).
+	DeltaFactor float64 `json:"delta_factor,omitempty"`
+	// Nugget is the diagonal regularization (default 100·Tol).
+	Nugget float64 `json:"nugget,omitempty"`
+	// Seed selects the synthetic virus-population geometry (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// Trim enables DAG trimming (default true).
+	Trim *bool `json:"trim,omitempty"`
+}
+
+// normalize applies defaults and validates the spec against the
+// server's limits. It must run before fingerprinting so that specs
+// differing only in elided defaults map to the same cache entry.
+func (sp *ProblemSpec) normalize(maxN int) error {
+	if sp.N <= 0 {
+		return fmt.Errorf("n must be positive, got %d", sp.N)
+	}
+	if maxN > 0 && sp.N > maxN {
+		return fmt.Errorf("n=%d exceeds the server limit %d", sp.N, maxN)
+	}
+	if sp.Tile <= 0 {
+		sp.Tile = 128
+	}
+	if sp.Tile > sp.N {
+		return fmt.Errorf("tile=%d must not exceed n=%d", sp.Tile, sp.N)
+	}
+	if sp.Tol <= 0 || math.IsNaN(sp.Tol) || math.IsInf(sp.Tol, 0) {
+		return fmt.Errorf("tol must be positive and finite, got %g", sp.Tol)
+	}
+	if sp.MaxRank < 0 {
+		return fmt.Errorf("maxrank must be ≥ 0, got %d", sp.MaxRank)
+	}
+	if sp.Kernel == "" {
+		sp.Kernel = "gaussian"
+	}
+	switch sp.Kernel {
+	case "gaussian", "wendland", "matern32", "matern52":
+	default:
+		return fmt.Errorf("unknown kernel %q", sp.Kernel)
+	}
+	if sp.DeltaFactor == 0 {
+		sp.DeltaFactor = 2
+	}
+	if sp.DeltaFactor < 0 || math.IsNaN(sp.DeltaFactor) {
+		return fmt.Errorf("delta_factor must be positive, got %g", sp.DeltaFactor)
+	}
+	if sp.Nugget == 0 {
+		sp.Nugget = 100 * sp.Tol
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+	if sp.Trim == nil {
+		t := true
+		sp.Trim = &t
+	}
+	return nil
+}
+
+// points generates the spec's deterministic geometry.
+func (sp ProblemSpec) points() []rbf.Point {
+	cfg := rbf.DefaultVirusConfig(sp.N)
+	cfg.Seed = sp.Seed
+	return rbf.VirusPopulation(cfg)[:sp.N]
+}
+
+// problem builds the Hilbert-ordered RBF problem for the spec's
+// geometry and kernel.
+func (sp ProblemSpec) problem(pts []rbf.Point) (*rbf.Problem, float64) {
+	delta := sp.DeltaFactor * rbf.DefaultShape(pts)
+	var kernel rbf.Kernel
+	switch sp.Kernel {
+	case "wendland":
+		kernel = rbf.WendlandC2{Delta: 3 * delta, Nugget: sp.Nugget}
+	case "matern32":
+		kernel = rbf.Matern32{Delta: delta, Nugget: sp.Nugget}
+	case "matern52":
+		kernel = rbf.Matern52{Delta: delta, Nugget: sp.Nugget}
+	default:
+		kernel = rbf.Gaussian{Delta: delta, Nugget: sp.Nugget}
+	}
+	prob, _ := rbf.NewProblem(pts, kernel)
+	return prob, delta
+}
+
+// Fingerprint hashes the problem identity: the geometry (exact float
+// bits of every generated point), the kernel and its
+// parameters, and the discretization/accuracy knobs (tile, tol,
+// maxrank, trim). Anything that changes the factor's bits is in the
+// hash; request-side options (RHS, refinement) are not.
+func Fingerprint(sp ProblemSpec, pts []rbf.Point) string {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	w64(uint64(sp.N))
+	w64(uint64(sp.Tile))
+	wf(sp.Tol)
+	w64(uint64(sp.MaxRank))
+	h.Write([]byte(sp.Kernel))
+	wf(sp.DeltaFactor)
+	wf(sp.Nugget)
+	w64(uint64(sp.Seed))
+	if sp.Trim != nil && *sp.Trim {
+		w64(1)
+	} else {
+		w64(0)
+	}
+	for _, p := range pts {
+		wf(p.X)
+		wf(p.Y)
+		wf(p.Z)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,485 @@
+// Package serve turns the TLR Cholesky library into a long-running
+// solve service. The economics come from the paper's workload shape:
+// factorization costs O(n²·k) and is worth minutes; a solve against a
+// cached factor costs O(n·k·nrhs) and is worth milliseconds. The
+// server therefore (1) caches factors by problem fingerprint with
+// single-flight deduplication and LRU eviction under a byte budget,
+// (2) coalesces concurrent solves against the same factor into one
+// blocked multi-column substitution, and (3) applies admission
+// control so overload degrades into fast 429s instead of queue
+// collapse.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"context"
+
+	"tlrchol/internal/core"
+	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/rbf"
+	"tlrchol/internal/tilemat"
+)
+
+// Config tunes the service. The zero value is usable: every field has
+// a production-shaped default applied by New.
+type Config struct {
+	// CacheBudget bounds factor-cache memory in bytes (default 1 GiB).
+	CacheBudget int64
+	// BatchWindow is how long the first solve of a batch waits for
+	// company (default 2ms; negative disables batching).
+	BatchWindow time.Duration
+	// MaxBatchCols caps columns per blocked solve (default 64).
+	MaxBatchCols int
+	// MaxInflight bounds concurrently admitted requests (default 64).
+	MaxInflight int
+	// MaxN rejects absurd problem sizes up front (default 16384).
+	MaxN int
+	// FactorizeTimeout bounds one factorization (default 5 minutes).
+	FactorizeTimeout time.Duration
+	// SolveTimeout bounds one batched solve (default 1 minute).
+	SolveTimeout time.Duration
+	// Workers is the factorization worker count (0 = GOMAXPROCS).
+	Workers int
+	// Metrics selects the registry (nil = obs.Default).
+	Metrics *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.CacheBudget == 0 {
+		c.CacheBudget = 1 << 30
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatchCols <= 0 {
+		c.MaxBatchCols = 64
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 16384
+	}
+	if c.FactorizeTimeout <= 0 {
+		c.FactorizeTimeout = 5 * time.Minute
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
+	}
+}
+
+// Server is the HTTP solve service. Create with New, mount Handler
+// on an http.Server, and drain with http.Server.Shutdown — in-flight
+// requests (including batch leaders mid-window) run to completion.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	cache   *FactorCache
+	batcher *Batcher
+	adm     *Admission
+	mux     *http.ServeMux
+	started time.Time
+
+	factorRuns, factorReqs, solveReqs, httpErrors *obs.Counter
+	factorLatency, solveLatency                   *obs.Histogram
+
+	statsMu  sync.Mutex
+	lastSnap obs.MetricsSnapshot
+}
+
+// New builds a Server from cfg (zero value is fine).
+func New(cfg Config) *Server {
+	cfg.defaults()
+	reg := cfg.Metrics
+	s := &Server{
+		cfg:           cfg,
+		reg:           reg,
+		cache:         NewFactorCache(cfg.CacheBudget, reg),
+		batcher:       NewBatcher(cfg.BatchWindow, cfg.MaxBatchCols, cfg.SolveTimeout, reg),
+		adm:           NewAdmission(cfg.MaxInflight, reg),
+		mux:           http.NewServeMux(),
+		started:       time.Now(),
+		factorRuns:    reg.Counter("serve.factorize.runs"),
+		factorReqs:    reg.Counter("serve.factorize.requests"),
+		solveReqs:     reg.Counter("serve.solve.requests"),
+		httpErrors:    reg.Counter("serve.http.errors"),
+		factorLatency: reg.Histogram("serve.factorize.latency_ms", 10, 100, 1000, 10000, 60000),
+		solveLatency:  reg.Histogram("serve.solve.latency_ms", 1, 5, 10, 50, 100, 1000, 10000),
+	}
+	s.mux.HandleFunc("POST /v1/factorize", s.handleFactorize)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.httpErrors.Add(0, 1)
+	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// reject emits the 429 backpressure response with a retry hint.
+func (s *Server) reject(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusTooManyRequests, "server at capacity (%d inflight); retry after backoff", s.cfg.MaxInflight)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// FactorizeRequest is the /v1/factorize body: just a problem spec.
+type FactorizeRequest struct {
+	Problem ProblemSpec `json:"problem"`
+}
+
+// FactorizeResponse reports the cached or freshly built factor.
+type FactorizeResponse struct {
+	Fingerprint string      `json:"fingerprint"`
+	Cached      bool        `json:"cached"`
+	N           int         `json:"n"`
+	Tile        int         `json:"tile"`
+	Bytes       int64       `json:"bytes"`
+	Stats       FactorStats `json:"stats"`
+}
+
+func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
+	s.factorReqs.Add(0, 1)
+	if !s.adm.TryAcquire() {
+		s.reject(w)
+		return
+	}
+	defer s.adm.Release()
+	var req FactorizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	f, cached, err := s.resolveFactor(r.Context(), req.Problem)
+	if err != nil {
+		s.failFactor(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, FactorizeResponse{
+		Fingerprint: f.FP,
+		Cached:      cached,
+		N:           f.Spec.N,
+		Tile:        f.Spec.Tile,
+		Bytes:       f.SizeBytes,
+		Stats:       f.FactorStats,
+	})
+}
+
+// failFactor maps resolution errors onto HTTP codes.
+func (s *Server) failFactor(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusGatewayTimeout, "factorization did not complete: %v", err)
+	default:
+		s.fail(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// resolveFactor normalizes the spec, fingerprints it and gets-or-builds
+// the factor through the single-flight cache.
+func (s *Server) resolveFactor(ctx context.Context, sp ProblemSpec) (*Factor, bool, error) {
+	if err := sp.normalize(s.cfg.MaxN); err != nil {
+		return nil, false, err
+	}
+	pts := sp.points()
+	fp := Fingerprint(sp, pts)
+	return s.cache.Get(ctx, fp, func() (*Factor, error) {
+		return s.buildFactor(sp, pts, fp)
+	})
+}
+
+// buildFactor assembles, compresses and factorizes the problem. It
+// runs under the server's factorization budget, detached from any one
+// request context: a single-flight build may be serving many waiters,
+// so the first requester hanging up must not kill it for the rest.
+func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Factor, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FactorizeTimeout)
+	defer cancel()
+	s.factorRuns.Add(0, 1)
+	start := time.Now()
+
+	prob, _ := sp.problem(pts)
+	m, _, err := tilemat.FromAssemblerParallel(sp.N, sp.Tile, prob.Block, sp.Tol, sp.MaxRank, s.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("compression failed: %w", err)
+	}
+	compress := time.Since(start)
+	op := m.Clone()
+
+	rep, err := core.Factorize(m, core.Options{
+		Tol:     sp.Tol,
+		MaxRank: sp.MaxRank,
+		Trim:    *sp.Trim,
+		Workers: s.cfg.Workers,
+		Context: ctx,
+		Metrics: s.reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("factorization failed: %w", err)
+	}
+	elapsed := time.Since(start)
+	s.factorLatency.Observe(0, float64(elapsed.Milliseconds()))
+	st := m.Stats()
+	return &Factor{
+		FP:        fp,
+		Spec:      sp,
+		L:         m,
+		Op:        op,
+		SizeBytes: int64(m.Bytes() + op.Bytes()),
+		FactorStats: FactorStats{
+			ElapsedMS:     float64(elapsed.Milliseconds()),
+			CompressMS:    float64(compress.Milliseconds()),
+			Density:       st.Density,
+			MaxRank:       st.Max,
+			TasksTrimmed:  rep.TasksTrimmed,
+			TasksExecuted: rep.TasksExecuted,
+		},
+	}, nil
+}
+
+// SolveRequest is the /v1/solve body. The factor is named either by a
+// full problem spec (built on miss) or by a fingerprint from a prior
+// factorize (404 on miss). Right-hand sides come as explicit columns
+// or as a server-generated seeded random block.
+type SolveRequest struct {
+	Problem     *ProblemSpec `json:"problem,omitempty"`
+	Fingerprint string       `json:"fingerprint,omitempty"`
+	// RHS holds explicit right-hand-side columns, each of length n.
+	RHS [][]float64 `json:"rhs,omitempty"`
+	// NRHS with RHSSeed asks the server to generate random columns.
+	NRHS    int   `json:"nrhs,omitempty"`
+	RHSSeed int64 `json:"rhs_seed,omitempty"`
+	// Refine runs iterative refinement to Target (default tol/10,
+	// capped at MaxIter sweeps, default 20).
+	Refine  bool    `json:"refine,omitempty"`
+	MaxIter int     `json:"maxiter,omitempty"`
+	Target  float64 `json:"target,omitempty"`
+	// ReturnSolution includes the solution columns in the response.
+	ReturnSolution bool `json:"return_solution,omitempty"`
+}
+
+// SolveResponse reports per-column results plus batching evidence.
+type SolveResponse struct {
+	Fingerprint string      `json:"fingerprint"`
+	Cached      bool        `json:"cached"`
+	Columns     int         `json:"columns"`
+	BatchCols   int         `json:"batch_columns"`
+	WaitMS      float64     `json:"wait_ms"`
+	SolveMS     float64     `json:"solve_ms"`
+	Residuals   []float64   `json:"residuals"`
+	Iterations  []int       `json:"iterations,omitempty"`
+	Solution    [][]float64 `json:"solution,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	s.solveReqs.Add(0, 1)
+	if !s.adm.TryAcquire() {
+		s.reject(w)
+		return
+	}
+	defer s.adm.Release()
+	var req SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+
+	// Validate the cheap parts (spec, RHS shape) before paying for any
+	// factorization the request might trigger.
+	var (
+		f      *Factor
+		cached bool
+		n      int
+	)
+	switch {
+	case req.Problem != nil:
+		if err := req.Problem.normalize(s.cfg.MaxN); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		n = req.Problem.N
+	case req.Fingerprint != "":
+		var ok bool
+		f, ok = s.cache.Lookup(req.Fingerprint)
+		if !ok {
+			s.fail(w, http.StatusNotFound, "no cached factor for fingerprint %q; send a problem spec", req.Fingerprint)
+			return
+		}
+		cached = true
+		n = f.Spec.N
+	default:
+		s.fail(w, http.StatusBadRequest, "request must carry a problem spec or a fingerprint")
+		return
+	}
+	cols, err := buildRHS(&req, n, s.cfg.MaxBatchCols)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if f == nil {
+		f, cached, err = s.resolveFactor(r.Context(), *req.Problem)
+		if err != nil {
+			s.failFactor(w, err)
+			return
+		}
+	}
+	p := SolveParams{Refine: req.Refine, MaxIter: req.MaxIter, Target: req.Target}
+	if p.Refine {
+		if p.MaxIter <= 0 {
+			p.MaxIter = 20
+		}
+		if p.Target <= 0 {
+			p.Target = f.Spec.Tol / 10
+		}
+	} else {
+		p.MaxIter, p.Target = 0, 0
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	defer cancel()
+	out := s.batcher.Solve(ctx, f, p, cols)
+	if out.err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		s.fail(w, code, "%v", out.err)
+		return
+	}
+	s.solveLatency.Observe(0, float64(time.Since(reqStart).Milliseconds()))
+
+	resp := SolveResponse{
+		Fingerprint: f.FP,
+		Cached:      cached,
+		Columns:     cols.Cols,
+		BatchCols:   out.batchCols,
+		WaitMS:      float64(out.waited) / float64(time.Millisecond),
+		SolveMS:     float64(out.solved) / float64(time.Millisecond),
+		Residuals:   out.residuals,
+		Iterations:  out.iterations,
+	}
+	if req.ReturnSolution {
+		resp.Solution = make([][]float64, cols.Cols)
+		for j := 0; j < cols.Cols; j++ {
+			col := make([]float64, f.Spec.N)
+			for i := range col {
+				col[i] = cols.At(i, j)
+			}
+			resp.Solution[j] = col
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// buildRHS materializes the request's right-hand sides as an n×k
+// matrix.
+func buildRHS(req *SolveRequest, n, maxCols int) (*dense.Matrix, error) {
+	if len(req.RHS) > 0 {
+		if len(req.RHS) > maxCols {
+			return nil, fmt.Errorf("%d RHS columns exceed the per-request limit %d", len(req.RHS), maxCols)
+		}
+		m := dense.NewMatrix(n, len(req.RHS))
+		for j, col := range req.RHS {
+			if len(col) != n {
+				return nil, fmt.Errorf("rhs column %d has %d entries, want n=%d", j, len(col), n)
+			}
+			for i, v := range col {
+				m.Set(i, j, v)
+			}
+		}
+		return m, nil
+	}
+	if req.NRHS <= 0 {
+		return nil, fmt.Errorf("request must carry rhs columns or nrhs > 0")
+	}
+	if req.NRHS > maxCols {
+		return nil, fmt.Errorf("nrhs=%d exceeds the per-request limit %d", req.NRHS, maxCols)
+	}
+	seed := req.RHSSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return dense.Random(rand.New(rand.NewSource(seed)), n, req.NRHS), nil
+}
+
+// StatsResponse is the /v1/stats body: occupancy plus both lifetime
+// totals and the delta window since the previous stats scrape —
+// Snapshot/Delta semantics built for exactly this long-lived process.
+type StatsResponse struct {
+	UptimeSec float64           `json:"uptime_sec"`
+	Cache     CacheStats        `json:"cache"`
+	Admission AdmissionStats    `json:"admission"`
+	Totals    map[string]uint64 `json:"totals"`
+	Window    map[string]uint64 `json:"window"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	s.statsMu.Lock()
+	delta := snap.Delta(s.lastSnap)
+	s.lastSnap = snap
+	s.statsMu.Unlock()
+
+	counterMap := func(ms obs.MetricsSnapshot) map[string]uint64 {
+		out := make(map[string]uint64, len(ms.Counters))
+		for _, c := range ms.Counters {
+			out[c.Name] = c.Value
+		}
+		return out
+	}
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Cache:     s.cache.Stats(),
+		Admission: s.adm.Stats(),
+		Totals:    counterMap(snap),
+		Window:    counterMap(delta),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.reg.Snapshot().String())
+	fmt.Fprintf(w, "  %-28s %s\n", "serve.uptime", time.Since(s.started).Round(time.Second))
+	fmt.Fprintf(w, "  %-28s %s\n", "serve.inflight", strconv.FormatInt(s.adm.inflight.Load(), 10))
+}

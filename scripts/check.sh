@@ -17,8 +17,8 @@ go vet ./...
 echo "== concurrency lint (cmd/lint)"
 go run ./cmd/lint ./...
 
-echo "== race-detector tests (runtime, ptg, verify, obs, cluster)"
-go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs ./internal/cluster
+echo "== race-detector tests (runtime, ptg, verify, obs, cluster, core, serve)"
+go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs ./internal/cluster ./internal/core ./internal/serve
 
 echo "== full test suite"
 go test ./...
@@ -45,6 +45,42 @@ echo "$dist_out" | grep -q 'measured comm volume:' || {
     echo "check.sh: distributed run printed no measured comm volume" >&2; exit 1; }
 echo "$dist_out" | grep -q 'sim prediction' || {
     echo "check.sh: distributed run printed no sim prediction" >&2; exit 1; }
+
+echo "== solve service smoke gate"
+# A real tlrserve on a random port must: factorize once for 8
+# concurrent solves against the same problem (single-flight dedup,
+# asserted from /metrics), answer /v1/stats, and drain cleanly on
+# SIGTERM.
+serve_log="$(mktemp /tmp/tlrserve-log.XXXXXX)"
+go build -o /tmp/tlrserve-check ./cmd/tlrserve
+/tmp/tlrserve-check -addr 127.0.0.1:0 -batch-window 50ms > "$serve_log" 2>&1 &
+serve_pid=$!
+trap 'rm -f "$obs_trace" "$serve_log" /tmp/tlrserve-check; kill "$serve_pid" 2>/dev/null || true' EXIT
+base=""
+for _ in $(seq 50); do
+    base="$(sed -n 's|^tlrserve listening on \(http://[0-9.:]*\).*|\1|p' "$serve_log")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "check.sh: tlrserve did not start"; cat "$serve_log" >&2; exit 1; }
+solve_req='{"problem":{"n":512,"tile":64,"tol":1e-7},"nrhs":1,"rhs_seed":SEED}'
+pids=()
+for i in $(seq 8); do
+    curl -sf -o /dev/null -X POST -d "${solve_req/SEED/$i}" "$base/v1/solve" &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do
+    wait "$p" || { echo "check.sh: concurrent solve request failed" >&2; exit 1; }
+done
+runs="$(curl -sf "$base/metrics" | awk '$1 == "serve.factorize.runs" {print $2}')"
+[ "$runs" = "1" ] || {
+    echo "check.sh: expected exactly 1 factorization for 8 concurrent solves, got '$runs'" >&2; exit 1; }
+curl -sf "$base/v1/stats" | grep -q '"uptime_sec"' || {
+    echo "check.sh: /v1/stats did not answer" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "check.sh: tlrserve exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q 'drained cleanly' "$serve_log" || {
+    echo "check.sh: tlrserve did not drain cleanly" >&2; cat "$serve_log" >&2; exit 1; }
 
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
