@@ -1,41 +1,80 @@
-// Command lint is the repo's concurrency-hygiene linter (see lint.go
-// for the checks). Usage:
+// Command lint is the thin CLI over the repo's type-checked invariant
+// analysis suite (internal/analysis). Usage:
 //
-//	go run ./cmd/lint ./...
+//	go run ./cmd/lint [flags] ./...
 //
-// It prints one line per finding and exits non-zero if any were found,
-// so scripts/check.sh can gate on it.
+//	-list            enumerate analyzers and the invariant each guards
+//	-run a,b         run only the named analyzers
+//	-json            emit findings as a JSON array
+//
+// Exit codes: 0 clean, 1 findings, 2 the tree failed to load or
+// type-check (a build break, not a lint finding) — scripts/check.sh
+// gates on 0.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	"tlrchol/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out io.Writer) int {
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	files, err := expand(args)
-	if err != nil {
-		fmt.Fprintf(out, "lint: %v\n", err)
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	findings, err := lintFiles(files)
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runNames != "" {
+		sel, err := analysis.Select(strings.Split(*runNames, ","))
+		if err != nil {
+			fmt.Fprintf(errOut, "lint: %v\n", err)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := analysis.Run(patterns, analyzers)
 	if err != nil {
-		fmt.Fprintf(out, "lint: %v\n", err)
+		fmt.Fprintf(errOut, "lint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+	if *jsonOut {
+		if werr := analysis.WriteJSON(out, findings); werr != nil {
+			fmt.Fprintf(errOut, "lint: %v\n", werr)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(out, "lint: %d finding(s) in %d file(s)\n", len(findings), len(files))
+		if !*jsonOut {
+			fmt.Fprintf(out, "lint: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
 	return 0

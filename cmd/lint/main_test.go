@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const syncvalFixture = "../../internal/analysis/testdata/src/syncval"
+
+func TestListFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("-list printed %d analyzers, want 9:\n%s", len(lines), out.String())
+	}
+	for _, want := range []string{"pairing", "lock-scope", "determinism", "ctx-flow"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing analyzer %q", want)
+		}
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{syncvalFixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("fixture run exited %d, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[sync-by-value]") {
+		t.Errorf("output missing [sync-by-value] findings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("output missing summary line:\n%s", out.String())
+	}
+}
+
+func TestLoadErrorExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad dir exited %d, want 2", code)
+	}
+}
+
+func TestRunFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nonesuch", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("-run nonesuch exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	// determinism has nothing to say about the syncval fixture.
+	if code := run([]string{"-run", "determinism", syncvalFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("-run determinism on syncval exited %d, want 0: %s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestJSONFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", syncvalFixture}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-json fixture run exited %d, want 1: %s", code, errOut.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json output empty despite exit 1")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "sync-by-value" || f.Line == 0 || f.File == "" {
+			t.Errorf("malformed JSON finding: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CFG is a statement-level control-flow graph of one function body.
+//
+// Blocks hold only "simple" statements (assignments, expressions,
+// declarations, sends, defers, go statements, returns, branch inits
+// and posts): control statements contribute edges, never block
+// entries, so walking Block.Stmts never double-visits a nested body.
+// Condition and range expressions are not represented — the flow-
+// sensitive analyzers here key on statements.
+//
+// Exit is the single normal-return sink. Panic is the sink for
+// explicit panic(...) statements; implicit may-panic edges from
+// arbitrary calls are left to individual analyzers (the pairing
+// analyzer models them itself), keeping the graph sparse.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Panic  *Block
+	Blocks []*Block
+}
+
+// Block is one basic block: straight-line statements and successor
+// edges.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	Succs []*Block
+}
+
+func (b *Block) add(s ast.Stmt)     { b.Stmts = append(b.Stmts, s) }
+func (b *Block) linkTo(succ *Block) { b.Succs = append(b.Succs, succ) }
+
+type loopCtx struct {
+	label     string
+	brk, cont *Block
+	isLoop    bool // continue legal
+}
+
+type cfgBuilder struct {
+	cfg       *CFG
+	info      *types.Info
+	stack     []loopCtx
+	labels    map[string]*Block
+	nextLabel string
+}
+
+// buildCFG constructs the CFG of body. info resolves the panic builtin
+// (so a shadowed local named panic is not treated as a terminator).
+func buildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, info: info, labels: map[string]*Block{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	c.Panic = b.newBlock()
+	end := b.stmt(body, c.Entry)
+	if end != nil {
+		end.linkTo(c.Exit)
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward gotos resolve.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) push(ctx loopCtx) { b.stack = append(b.stack, ctx) }
+func (b *cfgBuilder) pop()             { b.stack = b.stack[:len(b.stack)-1] }
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if label == "" || b.stack[i].label == label {
+			return b.stack[i].brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if b.stack[i].isLoop && (label == "" || b.stack[i].label == label) {
+			return b.stack[i].cont
+		}
+	}
+	return nil
+}
+
+// stmt threads the current block through statement s, returning the
+// block control flow falls out into (nil if s always transfers away).
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	if cur == nil {
+		// Unreachable code after a terminator still gets blocks (so
+		// analyzers see its statements) but no incoming edges.
+		cur = b.newBlock()
+	}
+	label := b.nextLabel
+	b.nextLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			cur = b.stmt(st, cur)
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		cur.linkTo(lb)
+		b.nextLabel = s.Label.Name
+		return b.stmt(s.Stmt, lb)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		after := b.newBlock()
+		then := b.newBlock()
+		cur.linkTo(then)
+		if end := b.stmt(s.Body, then); end != nil {
+			end.linkTo(after)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			cur.linkTo(els)
+			if end := b.stmt(s.Else, els); end != nil {
+				end.linkTo(after)
+			}
+		} else {
+			cur.linkTo(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		cur.linkTo(head)
+		after := b.newBlock()
+		body := b.newBlock()
+		head.linkTo(body)
+		if s.Cond != nil {
+			head.linkTo(after) // cond false
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.push(loopCtx{label: label, brk: after, cont: cont, isLoop: true})
+		end := b.stmt(s.Body, body)
+		b.pop()
+		if end != nil {
+			end.linkTo(cont)
+		}
+		if post != nil {
+			p := b.stmt(s.Post, post)
+			if p != nil {
+				p.linkTo(head)
+			}
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		cur.linkTo(head)
+		after := b.newBlock()
+		head.linkTo(after) // range exhausted (or empty)
+		body := b.newBlock()
+		head.linkTo(body)
+		b.push(loopCtx{label: label, brk: after, cont: head, isLoop: true})
+		end := b.stmt(s.Body, body)
+		b.pop()
+		if end != nil {
+			end.linkTo(head)
+		}
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, clauses = sw.Init, sw.Body.List
+		}
+		if init != nil {
+			cur = b.stmt(init, cur)
+		}
+		after := b.newBlock()
+		hasDefault := false
+		// Build case blocks first so fallthrough can target the next.
+		caseBlocks := make([]*Block, len(clauses))
+		for i := range clauses {
+			caseBlocks[i] = b.newBlock()
+			cur.linkTo(caseBlocks[i])
+		}
+		b.push(loopCtx{label: label, brk: after})
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := caseBlocks[i]
+			for _, st := range cc.Body {
+				// fallthrough must be the last statement of a case.
+				if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					if i+1 < len(caseBlocks) && blk != nil {
+						blk.linkTo(caseBlocks[i+1])
+					}
+					blk = nil
+					break
+				}
+				blk = b.stmt(st, blk)
+			}
+			if blk != nil {
+				blk.linkTo(after)
+			}
+		}
+		b.pop()
+		if !hasDefault {
+			cur.linkTo(after)
+		}
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.push(loopCtx{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			cur.linkTo(blk)
+			if cc.Comm != nil {
+				blk = b.stmt(cc.Comm, blk)
+			}
+			for _, st := range cc.Body {
+				blk = b.stmt(st, blk)
+			}
+			if blk != nil {
+				blk.linkTo(after)
+			}
+		}
+		b.pop()
+		if len(s.Body.List) == 0 {
+			return nil // select{} blocks forever
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.add(s)
+		cur.linkTo(b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findBreak(labelName(s)); t != nil {
+				cur.linkTo(t)
+			}
+			return nil
+		case "continue":
+			if t := b.findContinue(labelName(s)); t != nil {
+				cur.linkTo(t)
+			}
+			return nil
+		case "goto":
+			cur.linkTo(b.labelBlock(s.Label.Name))
+			return nil
+		}
+		// fallthrough is handled by the switch case above; one at any
+		// other position is a compile error, so just stop the block.
+		return cur
+
+	case *ast.ExprStmt:
+		cur.add(s)
+		if b.isPanic(s.X) {
+			cur.linkTo(b.cfg.Panic)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, Empty: straight-line.
+		cur.add(s)
+		return cur
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+// isPanic reports whether e is a call of the panic builtin.
+func (b *cfgBuilder) isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	if b.info != nil {
+		if obj := b.info.Uses[id]; obj != nil {
+			_, isBuiltin := obj.(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Run loads the packages matching patterns and runs every analyzer
+// over each, applying //lint:ignore suppression and auditing unused
+// directives. Findings come back sorted and deduplicated, with file
+// paths relative to the working directory. A non-nil error of type
+// *LoadError means the tree failed to parse or type-check.
+//
+// Loading is sequential (the source importer caches shared
+// dependencies); the analyzer passes then run concurrently, one
+// goroutine per package, sharing the immutable type-checked program.
+func Run(patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	loader := NewLoader()
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers), nil
+}
+
+// RunPackages runs the analyzers over already-loaded packages.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var mu sync.Mutex
+	var all []Finding
+	var wg sync.WaitGroup
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			fs := runPackage(pkg, analyzers, known)
+			mu.Lock()
+			all = append(all, fs...)
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+
+	all = relativize(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].less(all[j]) })
+	// Deduplicate identical findings (e.g. one defect visible from two
+	// syntactic walks).
+	out := all[:0]
+	for i, f := range all {
+		if i == 0 || f != all[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	var fs []Finding
+	report := func(f Finding) { fs = append(fs, f) }
+
+	directives := parseDirectives(pkg, known, report)
+
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Pkg:      pkg,
+			report:   func(f Finding) { raw = append(raw, f) },
+		}
+		a.Run(pass)
+	}
+
+	// Apply suppression, marking directives that fire.
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range directives {
+			if d.suppresses(f) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			fs = append(fs, f)
+		}
+	}
+
+	// Audit: a directive whose analyzer ran and suppressed nothing is
+	// stale and is itself a finding. Directives for analyzers that did
+	// not run this invocation (cmd/lint -run) are left alone.
+	for _, d := range directives {
+		if !d.used && known[d.analyzer] {
+			fs = append(fs, Finding{Pos: d.pos, Analyzer: auditName,
+				Message: "unused //lint:ignore directive for " + d.analyzer})
+		}
+	}
+	return fs
+}
+
+// relativize rewrites finding paths relative to the working directory
+// so report lines are stable across checkouts.
+func relativize(fs []Finding) []Finding {
+	wd, err := os.Getwd()
+	if err != nil {
+		return fs
+	}
+	for i := range fs {
+		if rel, rerr := filepath.Rel(wd, fs[i].Pos.Filename); rerr == nil && !filepath.IsAbs(rel) {
+			fs[i].Pos.Filename = rel
+		}
+	}
+	return fs
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array (stable field order,
+// one object per finding) to w.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	out := make([]jsonFinding, len(fs))
+	for i, f := range fs {
+		out[i] = jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

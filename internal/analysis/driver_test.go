@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTreeClean is the self-hosting gate: the entire module — the
+// analysis packages included — must produce zero findings under all
+// nine analyzers.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	findings, err := Run([]string{"../../..."}, All())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("tree not finding-clean: %s", f)
+	}
+}
+
+// TestSuppressionAudit demands that a //lint:ignore directive which
+// suppresses a real finding is honored, while one that suppresses
+// nothing is itself flagged.
+func TestSuppressionAudit(t *testing.T) {
+	pkg := loadFixture(t, "ignoreaudit")
+	findings := RunPackages([]*Package{pkg}, All())
+
+	staleLine := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "stale") {
+					staleLine = pkg.Fset.Position(c.Pos()).Line
+				}
+			}
+		}
+	}
+	if staleLine == 0 {
+		t.Fatal("fixture lost its stale directive marker")
+	}
+
+	var audit []Finding
+	for _, f := range findings {
+		if f.Analyzer == auditName {
+			audit = append(audit, f)
+			continue
+		}
+		t.Errorf("finding not suppressed: %s", f)
+	}
+	if len(audit) != 1 {
+		t.Fatalf("got %d audit findings, want exactly 1: %v", len(audit), audit)
+	}
+	if audit[0].Pos.Line != staleLine || !strings.Contains(audit[0].Message, "unused") {
+		t.Errorf("audit finding %s does not flag the stale directive on line %d", audit[0], staleLine)
+	}
+}
+
+// TestRealTreeFixRegression re-creates the pre-fix shape of the map
+// iterations this PR repaired in obs.ValidateChromeTrace and
+// cluster.Run — an error return inside a map range — and demands the
+// determinism analyzer still catches it. Reverting any of those fixes
+// reintroduces exactly this shape.
+func TestRealTreeFixRegression(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+func validate(workers map[int]bool, threads map[int]bool) error {
+	for tk := range workers {
+		if !threads[tk] {
+			return fmt.Errorf("span track %d has no thread_name metadata", tk)
+		}
+	}
+	return nil
+}
+`
+	pkg := packageFromSource(t, src)
+	findings := RunPackages([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the pre-fix chrome.go/cluster.go shape): %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "which element is returned varies") {
+		t.Errorf("wrong finding for the pre-fix shape: %s", findings[0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	pkg := loadFixture(t, "syncval")
+	findings := RunPackages([]*Package{pkg}, []*Analyzer{SyncByValueAnalyzer})
+	if len(findings) == 0 {
+		t.Fatal("syncval fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decoding -json output: %v", err)
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("JSON has %d findings, want %d", len(decoded), len(findings))
+	}
+	for i, d := range decoded {
+		if d.Analyzer != "sync-by-value" || d.Line != findings[i].Pos.Line {
+			t.Errorf("JSON finding %d mismatches: %+v vs %s", i, d, findings[i])
+		}
+	}
+}
+
+// TestSelect covers the -run plumbing.
+func TestSelect(t *testing.T) {
+	sel, err := Select([]string{"pairing", "determinism"})
+	if err != nil || len(sel) != 2 {
+		t.Fatalf("Select: %v, %v", sel, err)
+	}
+	if _, err := Select([]string{"nonesuch"}); err == nil {
+		t.Fatal("Select accepted an unknown analyzer")
+	}
+}

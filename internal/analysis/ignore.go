@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore <analyzer> <reason> comment.
+// A directive suppresses findings of the named analyzer on its own
+// line (trailing comment) or on the line immediately below (lead
+// comment). Every directive is audited: one that suppressed nothing
+// during a run of its analyzer is itself a finding, so stale ignores
+// cannot accumulate.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const ignorePrefix = "lint:ignore"
+
+// auditName tags the findings the directive audit itself produces.
+const auditName = "lint-ignore"
+
+// parseDirectives extracts all //lint:ignore directives of a package.
+// Malformed directives (no analyzer, no reason, unknown analyzer) are
+// reported immediately via report.
+func parseDirectives(pkg *Package, known map[string]bool, report func(Finding)) []*directive {
+	var ds []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Finding{Pos: pos, Analyzer: auditName,
+						Message: "malformed directive: want //lint:ignore <analyzer> <reason>"})
+					continue
+				}
+				name := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(rest, name))
+				if !known[name] {
+					report(Finding{Pos: pos, Analyzer: auditName,
+						Message: "directive names unknown analyzer " + name})
+					continue
+				}
+				if reason == "" {
+					report(Finding{Pos: pos, Analyzer: auditName,
+						Message: "directive for " + name + " has no reason"})
+					continue
+				}
+				ds = append(ds, &directive{pos: pos, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether d covers finding f: same file, matching
+// analyzer, and f on the directive's line or the line below it.
+func (d *directive) suppresses(f Finding) bool {
+	return d.analyzer == f.Analyzer &&
+		d.pos.Filename == f.Pos.Filename &&
+		(f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1)
+}

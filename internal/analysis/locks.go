@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// heldLock records one mutex held on some path: the canonical
+// expression of the lock ("n.mu"), where it was acquired, and whether
+// the hold is a read lock.
+type heldLock struct {
+	key   string
+	pos   token.Pos
+	rlock bool
+}
+
+// lockSet is the dataflow fact: locks possibly held, keyed by
+// canonical expression. The merge operator is union — "held on some
+// incoming path" is the conservative direction for a no-blocking-
+// under-lock check.
+type lockSet map[string]heldLock
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// union merges o into s, reporting whether s changed.
+func (s lockSet) union(o lockSet) bool {
+	changed := false
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lockWalk runs a forward may-analysis of held mutexes over the CFG of
+// body and calls visit for every simple statement with the set held
+// just before it executes. Lock/RLock add a lock; Unlock/RUnlock
+// remove it; a deferred Unlock keeps the lock held through the rest of
+// the function (correct: it releases only at return). sync.Cond
+// methods are not modeled here — Cond.Wait releases its mutex while
+// blocked, which is exactly why the lock-scope analyzer exempts it.
+func lockWalk(pkg *Package, body *ast.BlockStmt, visit func(s ast.Stmt, held lockSet)) {
+	cfg := pkg.CFG(body)
+	n := len(cfg.Blocks)
+	in := make([]lockSet, n)
+	in[cfg.Entry.Index] = lockSet{}
+
+	// Worklist fixpoint over block entry sets.
+	work := []*Block{cfg.Entry}
+	onWork := make([]bool, n)
+	onWork[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		onWork[blk.Index] = false
+		out := in[blk.Index].clone()
+		for _, s := range blk.Stmts {
+			applyLockTransfer(pkg.Info, s, out)
+		}
+		for _, succ := range blk.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = out.clone()
+			} else if !in[succ.Index].union(out) {
+				continue
+			}
+			if !onWork[succ.Index] {
+				onWork[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Visit pass: replay each reachable block with its entry facts.
+	for _, blk := range cfg.Blocks {
+		if in[blk.Index] == nil {
+			continue // unreachable
+		}
+		held := in[blk.Index].clone()
+		for _, s := range blk.Stmts {
+			visit(s, held)
+			applyLockTransfer(pkg.Info, s, held)
+		}
+	}
+}
+
+// applyLockTransfer updates held for one simple statement. Function
+// literals are opaque: locking inside a closure does not leak into the
+// enclosing body's facts (the closure body is analyzed on its own).
+func applyLockTransfer(info *types.Info, s ast.Stmt, held lockSet) {
+	if d, ok := s.(*ast.DeferStmt); ok {
+		// defer mu.Unlock() releases at return, so the lock stays in
+		// the set for the remainder of the body. Nothing to do.
+		_ = d
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := mutexMethod(info, call)
+		if !ok {
+			return true
+		}
+		key := exprKey(recv)
+		switch method {
+		case "Lock":
+			held[key] = heldLock{key: key, pos: call.Pos()}
+		case "RLock":
+			held[key] = heldLock{key: key, pos: call.Pos(), rlock: true}
+		case "Unlock", "RUnlock":
+			delete(held, key)
+		}
+		return true
+	})
+}
+
+// mutexMethod matches a call to a Lock/RLock/Unlock/RUnlock method on
+// a sync.Mutex or sync.RWMutex receiver (including promoted fields of
+// embedding structs, which go/types resolves to the sync method).
+func mutexMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	fn, isFn := obj.(*types.Func)
+	if !isFn {
+		return nil, "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	rt := sig.Recv().Type()
+	if !isNamedType(rt, "sync", "Mutex") && !isNamedType(rt, "sync", "RWMutex") {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}

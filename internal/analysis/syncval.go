@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncByValueAnalyzer ports PR 1's sync-by-value heuristic onto type
+// information: a sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map or
+// Pool appearing by value in a signature is a copy of internal state —
+// a copied mutex guards nothing and a copied WaitGroup waits on
+// nothing. Matching on types (not the literal text "sync.X") closes
+// the old false-negative gaps: aliased imports, type aliases, and
+// named types defined as aliases all resolve to the sync type.
+var SyncByValueAnalyzer = &Analyzer{
+	Name: "sync-by-value",
+	Doc:  "no sync primitive (Mutex, WaitGroup, ...) passed or returned by value",
+	Run:  runSyncByValue,
+}
+
+var syncByValueNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func runSyncByValue(pass *Pass) {
+	pass.ForEachFunc(func(fn *Func) {
+		var lists []*ast.FieldList
+		if fn.Decl != nil && fn.Decl.Recv != nil {
+			lists = append(lists, fn.Decl.Recv)
+		}
+		lists = append(lists, fn.Type.Params, fn.Type.Results)
+		for _, fl := range lists {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				t := pass.TypeOf(field.Type)
+				if t == nil {
+					continue
+				}
+				if _, isPtr := t.(*types.Pointer); isPtr {
+					continue
+				}
+				if name, ok := namedTypeIn(t, "sync"); ok && syncByValueNames[name] {
+					pass.Reportf(field.Type.Pos(),
+						"sync.%s passed by value in %s: the copy is a distinct %s (use a pointer)",
+						name, fn.Name, name)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,30 @@
+// Package addgo seeds the add-in-goroutine defect through a struct
+// field — the shape the old name-matching lint could not see — and
+// shows the correct Add-before-go form.
+package addgo
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func launch(p *pool, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			p.wg.Add(1) // want Wait can run before Add
+			defer p.wg.Done()
+		}()
+	}
+	p.wg.Wait()
+}
+
+func launchOK(p *pool, n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+		}()
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,33 @@
+// Package chanprotocol seeds one defect per sub-check: an inbox wired
+// to an unbuffered channel, and a send into an inbox under the node
+// lock. The clean shapes size the inbox and send outside the lock.
+package chanprotocol
+
+import "sync"
+
+type msg struct{}
+
+type node struct {
+	mu    sync.Mutex
+	inbox chan msg
+}
+
+func newNode() *node {
+	return &node{inbox: make(chan msg)} // want unbuffered channel
+}
+
+func sendLocked(n *node, m msg) {
+	n.mu.Lock()
+	n.inbox <- m // want send into inbox n.inbox while holding n.mu
+	n.mu.Unlock()
+}
+
+func newNodeOK(size int) *node {
+	return &node{inbox: make(chan msg, size)}
+}
+
+func sendUnlockedOK(n *node, m msg) {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.inbox <- m
+}

@@ -1,0 +1,61 @@
+// Package ctxflow seeds one defect per sub-check: a dropped context
+// parameter, a callee detached via context.Background, a call that
+// misses the FCtx variant, and an options literal missing its Context
+// field. The clean functions thread, assign or deliberately detach
+// (inside a goroutine) the context.
+package ctxflow
+
+import "context"
+
+type opts struct {
+	Context context.Context
+	n       int
+}
+
+func workCtx(ctx context.Context) error { return ctx.Err() }
+
+func work() {}
+
+func dropped(ctx context.Context) int { // want never used
+	return 42
+}
+
+func detached(ctx context.Context) error {
+	_ = ctx.Err()
+	return workCtx(context.Background()) // want detached from the caller's cancellation
+}
+
+func variantMissed(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	work() // want workCtx exists
+}
+
+func optionsMissed(ctx context.Context) opts {
+	if ctx.Err() != nil {
+		return opts{}
+	}
+	return opts{n: 1} // want leaves opts.Context unset
+}
+
+func threadedOK(ctx context.Context) error {
+	return workCtx(ctx)
+}
+
+func optionsSetOK(ctx context.Context) opts {
+	return opts{Context: ctx, n: 1}
+}
+
+func optionsAssignedOK(ctx context.Context) opts {
+	o := opts{n: 2}
+	o.Context = ctx
+	return o
+}
+
+func goDetachedOK(ctx context.Context, done chan error) {
+	_ = ctx.Err()
+	go func() {
+		done <- workCtx(context.Background())
+	}()
+}

@@ -1,0 +1,56 @@
+// Package determinism seeds one defect per sub-check: printing,
+// sending, returning and unsorted-escaping from inside a map
+// iteration. The clean functions show the collect-then-sort idiom and
+// a local accumulation whose order never leaves the function.
+package determinism
+
+import (
+	"fmt"
+	"sort"
+)
+
+func printOrder(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want output order varies per run
+	}
+}
+
+func sendOrder(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want receivers observe a random order
+	}
+}
+
+func firstError(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad key %s", k) // want which element is returned varies per run
+		}
+	}
+	return nil
+}
+
+func escapeUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want escapes unsorted
+	}
+	return out
+}
+
+func collectThenSortOK(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func localOnlyOK(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}

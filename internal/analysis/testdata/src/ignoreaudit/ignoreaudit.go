@@ -1,0 +1,12 @@
+// Package ignoreaudit exercises the suppression audit: one directive
+// legitimately suppresses a finding, one suppresses nothing and must
+// itself be flagged.
+package ignoreaudit
+
+import sy "sync"
+
+//lint:ignore sync-by-value fixture exercises a used directive
+func suppressed(mu sy.Mutex) {}
+
+//lint:ignore sync-by-value this directive is stale and must be flagged
+func clean(mu *sy.Mutex) {}

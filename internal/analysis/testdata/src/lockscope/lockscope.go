@@ -1,0 +1,66 @@
+// Package lockscope seeds one defect per blocking-operation sub-check
+// (channel send, channel receive, WaitGroup.Wait, time.Sleep, and a
+// heavy core entry point, each under a held mutex), plus the two clean
+// shapes: Cond.Wait (which releases its mutex while blocked) and the
+// serve cache's unlock-before-blocking discipline.
+package lockscope
+
+import (
+	"sync"
+	"time"
+
+	"tlrchol/internal/core"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	cond *sync.Cond
+	ok   bool
+	ch   chan int
+}
+
+func sendUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want channel send while holding g.mu
+	g.mu.Unlock()
+}
+
+func recvUnderLock(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want channel receive while holding g.mu
+}
+
+func waitUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.wg.Wait() // want call to WaitGroup.Wait while holding g.mu
+	g.mu.Unlock()
+}
+
+func sleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want call to time.Sleep while holding g.mu
+	g.mu.Unlock()
+}
+
+func factorizeUnderLock(g *guarded) {
+	g.mu.Lock()
+	core.Factorize(nil, core.Options{}) // want call to core.Factorize while holding g.mu
+	g.mu.Unlock()
+}
+
+func condWaitOK(g *guarded) {
+	g.mu.Lock()
+	for !g.ok {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func unlockBeforeBlockingOK(g *guarded) {
+	g.mu.Lock()
+	v := 1
+	g.mu.Unlock()
+	g.ch <- v
+}

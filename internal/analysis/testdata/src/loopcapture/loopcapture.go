@@ -1,0 +1,57 @@
+// Package loopcapture seeds one defect per sub-check (a range
+// variable and a for-clause variable captured by a goroutine) and
+// shows the two clean shapes: rebinding and argument passing. Object
+// identity makes the rebind clean automatically — the inner x is a
+// different object.
+package loopcapture
+
+import "sync"
+
+func rangeCapture(xs []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() { // want captures loop variable x
+			defer wg.Done()
+			out <- x
+		}()
+	}
+	wg.Wait()
+}
+
+func forCapture(n int, out chan<- int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want captures loop variable i
+			defer wg.Done()
+			out <- i
+		}()
+	}
+	wg.Wait()
+}
+
+func rebindOK(xs []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- x
+		}()
+	}
+	wg.Wait()
+}
+
+func argOK(xs []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out <- v
+		}(x)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+// Package pairing seeds one defect per pairing sub-check: an
+// early-return leak, a branch that skips the pool Put, and a release
+// reachable only when nothing panics. The clean functions document the
+// sanctioned shapes: defer, ownership transfer, and call-free direct
+// release.
+package pairing
+
+import (
+	"sync"
+
+	"tlrchol/internal/dense"
+)
+
+var pool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+func use(*dense.Workspace) {}
+
+func earlyReturnLeak(fail bool) {
+	ws := dense.GetWorkspace() // want not released on every path
+	if fail {
+		return
+	}
+	ws.Release()
+}
+
+func poolBranchLeak(drop bool) {
+	buf := pool.Get().(*[]float64) // want not released on every path
+	if drop {
+		return
+	}
+	pool.Put(buf)
+}
+
+func panicPathLeak() {
+	ws := dense.GetWorkspace() // want released only on the normal path
+	use(ws)
+	ws.Release()
+}
+
+func deferReleaseOK() {
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	use(ws)
+}
+
+func ownershipTransferOK() *dense.Workspace {
+	ws := dense.GetWorkspace()
+	return ws
+}
+
+func poolRoundTripOK() {
+	buf := pool.Get().(*[]float64)
+	pool.Put(buf)
+}

@@ -1,0 +1,19 @@
+// Package syncval seeds one defect per sub-check, using the shapes
+// the old text-matching lint missed: a parameter through an aliased
+// import, a parameter through a type alias, and a by-value result.
+package syncval
+
+import sy "sync"
+
+// MuAlias resolves to sync.Mutex through go/types.
+type MuAlias = sy.Mutex
+
+func aliasedImportParam(mu sy.Mutex) {} // want sync.Mutex passed by value
+
+func typeAliasParam(mu MuAlias) {} // want sync.Mutex passed by value
+
+func leakWaitGroup() sy.WaitGroup { // want sync.WaitGroup passed by value
+	return sy.WaitGroup{}
+}
+
+func pointerOK(mu *sy.Mutex) {}

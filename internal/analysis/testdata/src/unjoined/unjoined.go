@@ -1,0 +1,19 @@
+// Package unjoined seeds the fire-and-forget defect and shows the
+// joined form.
+package unjoined
+
+import "sync"
+
+func fireAndForget(f func()) {
+	go f() // want launches 1 goroutine(s) and returns without any join
+}
+
+func joinedOK(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}

@@ -125,6 +125,18 @@ type node struct {
 	tasksRun atomic.Int64
 }
 
+// sortTileIDs orders tile IDs column-major (N, then M) — the
+// reproducible walk order used wherever a map keyed by TileID feeds
+// messages or error reports.
+func sortTileIDs(ids []TileID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].N != ids[j].N {
+			return ids[i].N < ids[j].N
+		}
+		return ids[i].M < ids[j].M
+	})
+}
+
 func (n *node) getTile(id TileID) *tlr.Tile {
 	n.storeMu.RLock()
 	t := n.store[id]
@@ -199,13 +211,20 @@ func (g *Graph) Run(seed map[TileID]*tlr.Tile, cfg Config) (Stats, map[TileID]*t
 		n.cond = sync.NewCond(&n.mu)
 		e.nodes[i] = n
 	}
-	for id, t := range seed {
+	// Scatter in sorted tile order: with several invalid owners the
+	// reported one must not depend on map iteration order.
+	seedIDs := make([]TileID, 0, len(seed))
+	for id := range seed {
+		seedIDs = append(seedIDs, id)
+	}
+	sortTileIDs(seedIDs)
+	for _, id := range seedIDs {
 		owner := cfg.Remap.OwnerRankOf(id.M, id.N)
 		if owner < 0 || owner >= P {
 			return Stats{}, nil, fmt.Errorf("cluster: OwnerRankOf(%d,%d) = %d out of range [0,%d)",
 				id.M, id.N, owner, P)
 		}
-		e.nodes[owner].store[id] = t.Clone()
+		e.nodes[owner].store[id] = seed[id].Clone()
 	}
 
 	// Remap shipping plan: tiles whose writes execute away from their
@@ -219,7 +238,16 @@ func (g *Graph) Run(seed map[TileID]*tlr.Tile, cfg Config) (Stats, map[TileID]*t
 		m     msg
 	}
 	var ships []shipRec
-	for id, ft := range firstWriter {
+	// Walk first-writer tiles in sorted order: ship order and the
+	// error reported for an unseeded write must both be reproducible,
+	// and map iteration order is not.
+	fwIDs := make([]TileID, 0, len(firstWriter))
+	for id := range firstWriter {
+		fwIDs = append(fwIDs, id)
+	}
+	sortTileIDs(fwIDs)
+	for _, id := range fwIDs {
+		ft := firstWriter[id]
 		owner := int32(cfg.Remap.OwnerRankOf(id.M, id.N))
 		if ft.exec == owner {
 			continue
@@ -240,14 +268,8 @@ func (g *Graph) Run(seed map[TileID]*tlr.Tile, cfg Config) (Stats, map[TileID]*t
 			m: msg{kind: msgShip, id: id, payload: st.Clone(), releases: []int32{ft.id}}})
 		lastWriter[id].wbAfter = true
 	}
-	// Deterministic ship order (map iteration above is not).
-	sort.Slice(ships, func(i, j int) bool {
-		a, b := ships[i].m.id, ships[j].m.id
-		if a.N != b.N {
-			return a.N < b.N
-		}
-		return a.M < b.M
-	})
+	// ships is already in sorted tile order: the fwIDs walk above is
+	// column-major, the same order the old post-hoc sort established.
 
 	// Seed the ready queues before any goroutine starts.
 	for _, t := range g.tasks {

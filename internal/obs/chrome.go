@@ -181,7 +181,14 @@ func ValidateChromeTrace(data []byte) (TraceCheck, error) {
 		}
 		lastTs = *e.Ts
 	}
+	// Check tracks in ascending order: with several uncovered tracks
+	// the reported one must not depend on map iteration order.
+	tracks := make([]int, 0, len(workers))
 	for t := range workers {
+		tracks = append(tracks, t)
+	}
+	sort.Ints(tracks)
+	for _, t := range tracks {
 		if !threads[t] {
 			return tc, fmt.Errorf("obs: span track %d has no thread_name metadata", t)
 		}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # check.sh — the repo's single verification gate: build, vet, the
-# concurrency lint (cmd/lint), race-detector tests on the concurrency-
-# critical packages (the task runtime, the PTG front end and the static
-# verifier's own suite), then the full test suite, which includes the
+# type-checked static analysis suite (cmd/lint, findings archived as
+# JSON), race-detector tests on the concurrency-critical packages (the
+# task runtime, the PTG front end, the static verifier's own suite and
+# the lint driver itself), then the full test suite, which includes the
 # verifier self-checks in internal/verify, and finally a one-iteration
 # benchmark smoke run so the perf harness itself cannot bit-rot.
 set -euo pipefail
@@ -14,11 +15,24 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
-echo "== concurrency lint (cmd/lint)"
-go run ./cmd/lint ./...
+echo "== static analysis suite (cmd/lint)"
+# The tree must be finding-clean under every analyzer; the JSON report
+# is archived so a failing run leaves a machine-readable artifact.
+# Exit 1 = findings, exit 2 = the tree failed to load or type-check.
+lint_json="$(mktemp /tmp/tlrchol-lint.XXXXXX.json)"
+trap 'rm -f "$lint_json"' EXIT
+go run ./cmd/lint -json ./... > "$lint_json" || {
+    echo "check.sh: lint findings (report: $lint_json):" >&2
+    cat "$lint_json" >&2
+    trap - EXIT
+    exit 1
+}
 
-echo "== race-detector tests (runtime, ptg, verify, obs, cluster, core, serve)"
-go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs ./internal/cluster ./internal/core ./internal/serve
+echo "== race-detector tests (runtime, ptg, verify, obs, cluster, core, serve, analysis)"
+# internal/analysis is in the race list for self-hosting: the lint
+# driver runs analyzers concurrently per package, so its own tests must
+# hold up under the detector just like the code it audits.
+go test -race ./internal/runtime ./internal/ptg ./internal/verify ./internal/obs ./internal/cluster ./internal/core ./internal/serve ./internal/analysis
 
 echo "== full test suite"
 go test ./...
@@ -29,7 +43,7 @@ echo "== observability smoke gate"
 go test -run 'TestDisabledHotPathZeroAlloc' ./internal/obs
 go test -run 'TestObsSmoke' .
 obs_trace="$(mktemp /tmp/tlrchol-trace.XXXXXX.json)"
-trap 'rm -f "$obs_trace"' EXIT
+trap 'rm -f "$lint_json" "$obs_trace"' EXIT
 go run ./cmd/tlrchol -n 1024 -b 128 -verify=false -trace-out "$obs_trace" > /dev/null
 grep -q '"traceEvents"' "$obs_trace" || {
     echo "check.sh: trace-out produced no traceEvents" >&2; exit 1; }
@@ -55,7 +69,7 @@ serve_log="$(mktemp /tmp/tlrserve-log.XXXXXX)"
 go build -o /tmp/tlrserve-check ./cmd/tlrserve
 /tmp/tlrserve-check -addr 127.0.0.1:0 -batch-window 50ms > "$serve_log" 2>&1 &
 serve_pid=$!
-trap 'rm -f "$obs_trace" "$serve_log" /tmp/tlrserve-check; kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -f "$lint_json" "$obs_trace" "$serve_log" /tmp/tlrserve-check; kill "$serve_pid" 2>/dev/null || true' EXIT
 base=""
 for _ in $(seq 50); do
     base="$(sed -n 's|^tlrserve listening on \(http://[0-9.:]*\).*|\1|p' "$serve_log")"
