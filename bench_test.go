@@ -8,6 +8,8 @@ package tlrchol
 // paper scale.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -351,5 +353,54 @@ func BenchmarkDenseSVD64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dense.SVD(a)
+	}
+}
+
+// BenchmarkSolveLatency is the latency headline of the solve scheduler:
+// sequential reference substitution vs the planned parallel executor,
+// across narrow and blocked right-hand sides on two grid depths. The
+// planned path's win scales with GOMAXPROCS (it degenerates to the
+// sequential path at 1 worker, so single-CPU runs show parity, not a
+// regression); on ≥ 4 CPUs the single-RHS latency drop is the number
+// this PR exists for.
+func BenchmarkSolveLatency(b *testing.B) {
+	grids := []struct{ n, tile int }{
+		{2048, 128}, // NT=16
+		{4096, 128}, // NT=32
+	}
+	for _, g := range grids {
+		pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(g.n))[:g.n]
+		prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 4 * rbf.DefaultShape(pts), Nugget: 1e-6})
+		m, _ := tilemat.FromAssembler(g.n, g.tile, prob.Block, 1e-8, 0)
+		if _, err := core.Factorize(m, core.Options{Tol: 1e-8, Trim: true, Sequential: true}); err != nil {
+			b.Fatal(err)
+		}
+		plan := core.BuildSolvePlan(m)
+		rng := rand.New(rand.NewSource(21))
+		for _, nrhs := range []int{1, 4, 16} {
+			rhs := dense.Random(rng, g.n, nrhs)
+			x := rhs.Clone()
+			name := func(kind string) string {
+				return fmt.Sprintf("%s/n=%d/nrhs=%d", kind, g.n, nrhs)
+			}
+			b.Run(name("Sequential"), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					x.CopyFrom(rhs)
+					if err := core.SolveSequentialCtx(context.Background(), m, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(name("Planned"), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					x.CopyFrom(rhs)
+					if err := plan.SolveCtx(context.Background(), m, x, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -320,8 +321,17 @@ func main() {
 		rng := rand.New(rand.NewSource(7))
 		rhs := dense.Random(rng, *n, *solveK)
 		x := rhs.Clone()
+		planStart := time.Now()
+		plan := core.BuildSolvePlan(m)
+		planT := time.Since(planStart)
+		fwdLevels, bwdLevels := plan.Levels()
+		fmt.Printf("solve plan: %d tasks, levels %d fwd / %d bwd, max width %d, %.1f KiB, built in %v\n",
+			plan.Tasks(), fwdLevels, bwdLevels, plan.MaxWidth(),
+			float64(plan.Bytes())/1024, planT.Round(time.Microsecond))
 		sStart := time.Now()
-		core.Solve(m, x)
+		if err := plan.SolveCtx(context.Background(), m, x, 0); err != nil {
+			fail("planned solve failed: %v", err)
+		}
 		solveT := time.Since(sStart)
 		res := core.ColumnResiduals(core.TLROperator{M: op}, x, rhs)
 		worst := 0.0

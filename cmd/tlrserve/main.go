@@ -37,6 +37,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "admitted requests before 429")
 	maxN := flag.Int("max-n", 16384, "largest accepted problem size")
 	workers := flag.Int("workers", 0, "factorization workers (0 = GOMAXPROCS)")
+	solveWorkers := flag.Int("solve-workers", 0, "planned-solve workers (0 = GOMAXPROCS)")
 	factorTimeout := flag.Duration("factor-timeout", 5*time.Minute, "per-factorization budget")
 	solveTimeout := flag.Duration("solve-timeout", time.Minute, "per-batch solve budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
@@ -61,6 +62,7 @@ func main() {
 		FactorizeTimeout: *factorTimeout,
 		SolveTimeout:     *solveTimeout,
 		Workers:          *workers,
+		SolveWorkers:     *solveWorkers,
 	}
 
 	if *loadgen {
@@ -138,9 +140,15 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 	spec := serve.ProblemSpec{N: lg.n, Tile: lg.tile, Tol: lg.tol}
 	fmt.Printf("loadgen: priming factor (n=%d tile=%d tol=%.0e)...\n", lg.n, lg.tile, lg.tol)
 	primeStart := time.Now()
-	if code, body, err := postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: spec}); err != nil || code != http.StatusOK {
+	code, body, err := postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: spec})
+	if err != nil || code != http.StatusOK {
 		fmt.Fprintf(os.Stderr, "loadgen: prime factorize failed: code=%d err=%v body=%s\n", code, err, body)
 		return 1
+	}
+	var prime serve.FactorizeResponse
+	if json.Unmarshal(body, &prime) == nil && !prime.Cached {
+		fmt.Printf("loadgen: solve plan built in %.3fms (%d levels, max width %d)\n",
+			prime.Stats.PlanBuildMS, prime.Stats.PlanLevels, prime.Stats.PlanMaxWidth)
 	}
 	fmt.Printf("loadgen: factor ready in %v; driving %.0f req/s for %v (nrhs=%d refine=%v)\n",
 		time.Since(primeStart).Round(time.Millisecond), lg.rate, lg.duration, lg.nrhs, lg.refine)
@@ -148,6 +156,7 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		substMS   []float64
 		rejected  int
 		failed    int
 		batchSum  int
@@ -187,6 +196,7 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 				var resp serve.SolveResponse
 				if json.Unmarshal(body, &resp) == nil {
 					batchSum += resp.BatchCols
+					substMS = append(substMS, resp.SubstMS)
 				}
 			}
 		}(seed)
@@ -208,6 +218,16 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 	fmt.Printf("latency  p50 %v   p95 %v   p99 %v   max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	// Substitution-only latency: time inside the triangular sweeps as
+	// reported per response — no cache waits, no batching window, no
+	// residual evaluation. The gap between this line and the one above
+	// is queueing and service overhead, not solve work.
+	if len(substMS) > 0 {
+		sort.Float64s(substMS)
+		spct := func(p float64) float64 { return substMS[int(p*float64(len(substMS)-1))] }
+		fmt.Printf("solve-only  p50 %.3fms   p95 %.3fms   p99 %.3fms   max %.3fms\n",
+			spct(0.50), spct(0.95), spct(0.99), substMS[len(substMS)-1])
+	}
 	fmt.Printf("mean batch width %.1f columns\n", float64(batchSum)/float64(len(latencies)))
 
 	// Cache effectiveness from the server's own accounting.

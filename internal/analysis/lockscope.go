@@ -24,20 +24,21 @@ var LockScopeAnalyzer = &Analyzer{
 // blockingCalls maps fully-qualified function names to a short label.
 // Methods are matched separately by receiver type.
 var blockingCalls = map[string]string{
-	"time.Sleep":                          "time.Sleep",
-	"io.ReadAll":                          "io.ReadAll",
-	"io.Copy":                             "io.Copy",
-	"net/http.Get":                        "http.Get",
-	"net/http.Post":                       "http.Post",
-	"net/http.PostForm":                   "http.PostForm",
-	"net/http.Head":                       "http.Head",
-	"tlrchol/internal/core.Factorize":     "core.Factorize",
-	"tlrchol/internal/core.Solve":         "core.Solve",
-	"tlrchol/internal/core.SolveCtx":      "core.SolveCtx",
-	"tlrchol/internal/core.Refine":        "core.Refine",
-	"tlrchol/internal/core.RefineCtx":     "core.RefineCtx",
-	"tlrchol/internal/core.SolveDist":     "core.SolveDist",
-	"tlrchol/internal/core.FactorizeDist": "core.FactorizeDist",
+	"time.Sleep":                               "time.Sleep",
+	"io.ReadAll":                               "io.ReadAll",
+	"io.Copy":                                  "io.Copy",
+	"net/http.Get":                             "http.Get",
+	"net/http.Post":                            "http.Post",
+	"net/http.PostForm":                        "http.PostForm",
+	"net/http.Head":                            "http.Head",
+	"tlrchol/internal/core.Factorize":          "core.Factorize",
+	"tlrchol/internal/core.Solve":              "core.Solve",
+	"tlrchol/internal/core.SolveCtx":           "core.SolveCtx",
+	"tlrchol/internal/core.SolveSequentialCtx": "core.SolveSequentialCtx",
+	"tlrchol/internal/core.Refine":             "core.Refine",
+	"tlrchol/internal/core.RefineCtx":          "core.RefineCtx",
+	"tlrchol/internal/core.SolveDist":          "core.SolveDist",
+	"tlrchol/internal/core.FactorizeDist":      "core.FactorizeDist",
 }
 
 func runLockScope(pass *Pass) {

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count tests skip under -race: the detector's shadow-memory
+// bookkeeping allocates on paths that are allocation-free in a normal
+// build.
+const raceEnabled = false

@@ -104,6 +104,29 @@ func Refine(f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target
 // same granularity as SolveCtx. On a context error b holds a partially
 // refined state and must be discarded.
 func RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (RefineResult, error) {
+	return refineWith(ctx, nil, 0, f, op, b, maxIter, target)
+}
+
+// RefineCtx runs iterative refinement with every inner substitution —
+// the initial solve and each correction solve — routed through the
+// plan's parallel executor. Results are bitwise identical to the
+// package-level RefineCtx (the executor reproduces the sequential
+// substitution exactly, and the refinement loop is unchanged). The
+// serve layer uses this so refined solves reuse the cached plan.
+func (p *SolvePlan) RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64, workers int) (RefineResult, error) {
+	return refineWith(ctx, p, workers, f, op, b, maxIter, target)
+}
+
+// refineWith is the shared refinement loop; p == nil routes inner
+// solves through the auto-dispatching SolveCtx, otherwise through
+// p.SolveCtx with the given worker count.
+func refineWith(ctx context.Context, p *SolvePlan, workers int, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (RefineResult, error) {
+	solve := func(m *dense.Matrix) error {
+		if p != nil {
+			return p.SolveCtx(ctx, f, m, workers)
+		}
+		return SolveCtx(ctx, f, m)
+	}
 	if op.Size() != f.N || b.Rows != f.N {
 		return RefineResult{}, fmt.Errorf("core: Refine dimension mismatch")
 	}
@@ -134,7 +157,7 @@ func RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operator, b *dense.Mat
 	}
 	// Initial solve. Zero columns pass through exactly (the substitution
 	// kernels map zero columns to zero columns bit for bit).
-	if err := SolveCtx(ctx, f, b); err != nil {
+	if err := solve(b); err != nil {
 		return res, err
 	}
 	aggRel := func(rn []float64) float64 {
@@ -172,7 +195,7 @@ func RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operator, b *dense.Mat
 		}
 		// x += f⁻¹·r, applied only to the still-active columns so that
 		// converged columns keep their exact converged bits.
-		if err := SolveCtx(ctx, f, r); err != nil {
+		if err := solve(r); err != nil {
 			return res, err
 		}
 		for j := range active {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"runtime"
 
 	"tlrchol/internal/dense"
 	"tlrchol/internal/tilemat"
@@ -28,14 +29,46 @@ func Solve(f *tilemat.Matrix, b *dense.Matrix) {
 	}
 }
 
-// SolveCtx is Solve with cooperative cancellation: the context is
-// checked between tile-row substitutions (the natural preemption
-// points), and the first cancellation or deadline error is returned.
-// On error b holds a partially substituted state and must be discarded.
+// SolveCtx is Solve with cooperative cancellation. On error b holds a
+// partially substituted state and must be discarded.
+//
+// Factors large enough to benefit are routed through a freshly built
+// SolvePlan and its parallel executor (see solveplan.go); the plan
+// build is an O(NT²) structural scan, microseconds against the solve it
+// schedules. Small factors — and single-CPU processes — take the
+// sequential reference path directly. Either way the output bits are
+// identical; callers who solve repeatedly against one factor should
+// hold a SolvePlan themselves (the serve layer caches one per factor).
 func SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix) error {
+	if p := autoPlan(f); p != nil {
+		return p.SolveCtx(ctx, f, b, 0)
+	}
+	return SolveSequentialCtx(ctx, f, b)
+}
+
+// autoPlanMinRows is the tile-row count below which a one-shot SolveCtx
+// skips plan construction: with fewer rows the DAG is too shallow for
+// cross-row overlap to beat the scheduling overhead.
+const autoPlanMinRows = 8
+
+// autoPlan decides whether a one-shot solve is worth planning.
+func autoPlan(f *tilemat.Matrix) *SolvePlan {
+	if f.NT < autoPlanMinRows || runtime.GOMAXPROCS(0) < 2 {
+		return nil
+	}
+	return BuildSolvePlan(f)
+}
+
+// SolveSequentialCtx is the sequential reference substitution: one
+// goroutine, tile rows in order, the context checked between rows (the
+// natural preemption points). The planned executor is defined to
+// reproduce its output bit for bit; keystone tests compare against it.
+// On error b holds a partially substituted state and must be discarded.
+func SolveSequentialCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix) error {
 	if b.Rows != f.N {
 		panic("core: Solve right-hand side dimension mismatch")
 	}
+	solveSeqRuns.Add(0, 1)
 	nrhs := b.Cols
 	ws := dense.GetWorkspace()
 	defer ws.Release()
@@ -70,9 +103,11 @@ func SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix) error {
 
 // tileMulAcc computes dst += s·op(T)·x exploiting the tile format,
 // where op is Tᵀ when trans is true. The low-rank path takes its k×nrhs
-// temporary from ws (nil falls back to the heap). All products go
-// through the width-oblivious GemmDet so the result column j depends
-// only on x column j, never on x.Cols.
+// temporary from ws, which must be non-nil — every caller owns a
+// workspace for the duration of its sweep, so a heap fallback would
+// only hide a missing Get/Release pair. All products go through the
+// width-oblivious GemmDet so the result column j depends only on x
+// column j, never on x.Cols.
 func tileMulAcc(t *tlr.Tile, trans bool, s float64, x, dst *dense.Matrix, ws *dense.Workspace) {
 	switch t.Kind {
 	case tlr.Zero:
@@ -85,12 +120,7 @@ func tileMulAcc(t *tlr.Tile, trans bool, s float64, x, dst *dense.Matrix, ws *de
 		}
 	case tlr.LowRank:
 		k := t.Rank()
-		var tmp *dense.Matrix
-		if ws != nil {
-			tmp = ws.Matrix(k, x.Cols) // zeroed by the workspace
-		} else {
-			tmp = dense.NewMatrix(k, x.Cols)
-		}
+		tmp := ws.Matrix(k, x.Cols) // zeroed by the workspace
 		if trans {
 			// Tᵀ·x = V·(Uᵀ·x)
 			dense.GemmDet(dense.Trans, dense.NoTrans, 1, t.U, x, tmp)

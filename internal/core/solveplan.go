@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"context"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/flops"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+)
+
+// The solve-plan layer: a per-factor precomputed schedule for the two
+// triangular substitutions, amortizing dependency analysis across every
+// solve against a cached factor — the same analyze-once-execute-many
+// economics the factorization's task graph already exploits, applied to
+// the latency path.
+//
+// Granularity is the key design decision. At tile-row granularity a
+// banded factor's forward sweep is a chain (row i cannot start until
+// row i−1 solved), so the plan schedules *tile operations*: one task
+// per non-zero off-diagonal apply (dst row i accumulates −T·seg(src))
+// plus one per diagonal triangular solve. Parallelism then comes from
+// overlapping different rows' update chains: as soon as y_j is solved,
+// every row below can fold in its L(i,j)·y_j product while the
+// diagonal spine advances.
+//
+// Bitwise determinism: right-hand-side segment i is written only by
+// row i's tasks, and those are chained in the plan — each apply
+// depends on the previous apply of the same row, partners in ascending
+// order, the diagonal solve last. Row i therefore performs exactly the
+// operation sequence of the sequential loop in solve.go (whose
+// Zero-tile iterations are no-ops), through the same width-oblivious
+// kernels, so the parallel result is bit-identical to SolveSequentialCtx
+// for any worker count (pinned by TestSolvePlannedBitwise).
+
+// Solve-path metrics, registered once in the process-wide registry.
+var (
+	solvePlanBuilds  = obs.Default.Counter("solve.plan.build")
+	solvePlannedRuns = obs.Default.Counter("solve.run.planned")
+	solveSeqRuns     = obs.Default.Counter("solve.run.sequential")
+	solveLevelWidth  = obs.Default.Histogram("solve.plan.level_width", 1, 2, 4, 8, 16, 32, 64)
+)
+
+// solveTask is one node of a sweep DAG. src == dst marks the diagonal
+// triangular solve of tile row dst; otherwise the task accumulates the
+// off-diagonal product of partner row src into segment dst.
+type solveTask struct {
+	dst, src int32
+}
+
+// sweepPlan is the precomputed DAG of one substitution direction in
+// flat CSR-style storage: cheap to build, compact to cache, and free of
+// per-task allocation during execution.
+type sweepPlan struct {
+	tasks []solveTask
+	// ndeps is the static in-degree of each task; executions count a
+	// private copy down to zero.
+	ndeps []int32
+	// succs/succOff is the CSR adjacency of released tasks.
+	succs   []int32
+	succOff []int32
+	// prio is the rank-weighted critical-path-to-sink length (flops per
+	// column, from internal/flops): the ready heap pops the task with
+	// the longest remaining chain first, keeping the diagonal spine —
+	// the latency bottleneck — moving.
+	prio []int64
+	// level is each task's depth in the DAG; levels/maxWidth summarize
+	// the level sets for sizing and observability.
+	level    []int32
+	levels   int
+	maxWidth int
+	// roots are the tasks ready at sweep start, ascending id.
+	roots []int32
+}
+
+// buildSweep scans the factor's tile kinds and assembles one sweep DAG.
+// Task ids are assigned in the sequential loop's execution order, which
+// is a topological order of the dependence relation by construction.
+func buildSweep(f *tilemat.Matrix, backward bool) sweepPlan {
+	nt := f.NT
+	var p sweepPlan
+
+	// Pass 1: count tasks to size the flat arrays. Each sweep runs one
+	// apply per non-zero strictly-lower tile plus one diagonal solve
+	// per row, regardless of direction.
+	total := nt
+	for i := 0; i < nt; i++ {
+		for j := 0; j < i; j++ {
+			if f.At(i, j).Kind != tlr.Zero {
+				total++
+			}
+		}
+	}
+	p.tasks = make([]solveTask, 0, total)
+	cost := make([]float64, 0, total)
+
+	// Pass 2: emit tasks in sequential order and record dependencies.
+	// preds is small (≤ 2 per task): the reader dependency on the
+	// partner's diagonal solve, and the same-row in-order chain.
+	trsmID := make([]int32, nt)
+	type edge struct{ from, to int32 }
+	edges := make([]edge, 0, 2*total)
+	partners := make([]int32, 0, nt)
+	rowAt := func(r int) int {
+		if backward {
+			return nt - 1 - r
+		}
+		return r
+	}
+	for r := 0; r < nt; r++ {
+		i := rowAt(r)
+		partners = sweepPartners(f, i, backward, partners[:0])
+		prev := int32(-1)
+		for _, pr := range partners {
+			id := int32(len(p.tasks))
+			p.tasks = append(p.tasks, solveTask{dst: int32(i), src: pr})
+			cost = append(cost, applyCost(f, i, int(pr), backward))
+			edges = append(edges, edge{from: trsmID[pr], to: id})
+			if prev >= 0 {
+				edges = append(edges, edge{from: prev, to: id})
+			}
+			prev = id
+		}
+		id := int32(len(p.tasks))
+		p.tasks = append(p.tasks, solveTask{dst: int32(i), src: int32(i)})
+		cost = append(cost, flops.SolveTrsm(f.TileRows(i)))
+		if prev >= 0 {
+			edges = append(edges, edge{from: prev, to: id})
+		}
+		trsmID[i] = id
+	}
+
+	n := len(p.tasks)
+	p.ndeps = make([]int32, n)
+	p.succOff = make([]int32, n+1)
+	for _, e := range edges {
+		p.ndeps[e.to]++
+		p.succOff[e.from+1]++
+	}
+	for t := 0; t < n; t++ {
+		p.succOff[t+1] += p.succOff[t]
+	}
+	p.succs = make([]int32, len(edges))
+	fill := make([]int32, n)
+	for _, e := range edges {
+		p.succs[p.succOff[e.from]+fill[e.from]] = e.to
+		fill[e.from]++
+	}
+
+	// Critical-path priorities, computed in reverse topological (= id)
+	// order so every successor is already final.
+	p.prio = make([]int64, n)
+	for t := n - 1; t >= 0; t-- {
+		var best int64
+		for s := p.succOff[t]; s < p.succOff[t+1]; s++ {
+			if v := p.prio[p.succs[s]]; v > best {
+				best = v
+			}
+		}
+		p.prio[t] = best + int64(cost[t])
+	}
+
+	// Level sets: depth propagates forward along ascending ids.
+	p.level = make([]int32, n)
+	for t := 0; t < n; t++ {
+		lv := p.level[t] + 1
+		for s := p.succOff[t]; s < p.succOff[t+1]; s++ {
+			if lv > p.level[p.succs[s]] {
+				p.level[p.succs[s]] = lv
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		if int(p.level[t]) >= p.levels {
+			p.levels = int(p.level[t]) + 1
+		}
+		if p.ndeps[t] == 0 {
+			p.roots = append(p.roots, int32(t))
+		}
+	}
+	width := make([]int32, p.levels)
+	for t := 0; t < n; t++ {
+		width[p.level[t]]++
+	}
+	for _, w := range width {
+		if int(w) > p.maxWidth {
+			p.maxWidth = int(w)
+		}
+		solveLevelWidth.Observe(0, float64(w))
+	}
+	return p
+}
+
+// sweepPartners appends to buf the non-zero partner rows of tile row i
+// in the order the sequential loop visits them: ascending j < i for the
+// forward sweep (tile (i,j)), ascending m > i for the backward sweep
+// (tile (m,i) transposed).
+func sweepPartners(f *tilemat.Matrix, i int, backward bool, buf []int32) []int32 {
+	if backward {
+		for m := i + 1; m < f.NT; m++ {
+			if f.At(m, i).Kind != tlr.Zero {
+				buf = append(buf, int32(m))
+			}
+		}
+		return buf
+	}
+	for j := 0; j < i; j++ {
+		if f.At(i, j).Kind != tlr.Zero {
+			buf = append(buf, int32(j))
+		}
+	}
+	return buf
+}
+
+// applyCost returns the per-column flop weight of one off-diagonal
+// apply, used for critical-path priorities.
+func applyCost(f *tilemat.Matrix, i, partner int, backward bool) float64 {
+	var t *tlr.Tile
+	if backward {
+		t = f.At(partner, i)
+	} else {
+		t = f.At(i, partner)
+	}
+	if t.Kind == tlr.LowRank {
+		return flops.SolveApplyLR(t.Rows, t.Cols, t.Rank())
+	}
+	return flops.SolveApplyDense(t.Rows, t.Cols)
+}
+
+// SolvePlan is a per-factor precomputed schedule for the forward (L)
+// and backward (Lᵀ) substitutions. Build it once per factor with
+// BuildSolvePlan and reuse it across every solve; the plan itself is
+// immutable and safe for concurrent SolveCtx calls.
+type SolvePlan struct {
+	nt, n    int
+	fwd, bwd sweepPlan
+}
+
+// BuildSolvePlan analyzes the factor's sparsity structure and returns
+// the substitution schedule. Cost is one O(NT²) tile-kind scan plus
+// O(tasks) bookkeeping — microseconds against the milliseconds of the
+// solves it accelerates.
+func BuildSolvePlan(f *tilemat.Matrix) *SolvePlan {
+	p := &SolvePlan{
+		nt:  f.NT,
+		n:   f.N,
+		fwd: buildSweep(f, false),
+		bwd: buildSweep(f, true),
+	}
+	solvePlanBuilds.Add(0, 1)
+	return p
+}
+
+// Bytes returns the plan's approximate memory footprint, charged to the
+// serve layer's factor-cache budget alongside the factor it schedules.
+func (p *SolvePlan) Bytes() int64 {
+	return p.fwd.bytes() + p.bwd.bytes() + 64
+}
+
+func (s *sweepPlan) bytes() int64 {
+	return int64(8*len(s.tasks) + 4*len(s.ndeps) + 4*len(s.succs) +
+		4*len(s.succOff) + 8*len(s.prio) + 4*len(s.level) + 4*len(s.roots))
+}
+
+// Tasks returns the total task count across both sweeps.
+func (p *SolvePlan) Tasks() int { return len(p.fwd.tasks) + len(p.bwd.tasks) }
+
+// Levels returns the level-set depth of the forward and backward sweeps.
+func (p *SolvePlan) Levels() (fwd, bwd int) { return p.fwd.levels, p.bwd.levels }
+
+// MaxWidth returns the widest level set across both sweeps — the upper
+// bound on useful executor parallelism.
+func (p *SolvePlan) MaxWidth() int {
+	if p.fwd.maxWidth > p.bwd.maxWidth {
+		return p.fwd.maxWidth
+	}
+	return p.bwd.maxWidth
+}
+
+// SolveCtx overwrites b (N×nrhs) with the solution of A·x = b by
+// running both substitution sweeps through the plan's worker-pool
+// executor. workers ≤ 0 means GOMAXPROCS; the count is clamped to the
+// plan's widest level, and a single worker falls back to the
+// sequential reference path (identical bits, none of the scheduling
+// overhead). The result is bitwise identical to SolveSequentialCtx for
+// every worker count. On a context error b holds a partially
+// substituted state and must be discarded.
+func (p *SolvePlan) SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix, workers int) error {
+	if f.NT != p.nt || f.N != p.n {
+		panic(fmt.Sprintf("core: SolvePlan built for NT=%d n=%d applied to NT=%d n=%d", p.nt, p.n, f.NT, f.N))
+	}
+	if b.Rows != p.n {
+		panic("core: Solve right-hand side dimension mismatch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if w := p.MaxWidth(); workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		return SolveSequentialCtx(ctx, f, b)
+	}
+	solvePlannedRuns.Add(0, 1)
+	if err := runSweep(ctx, &p.fwd, f, b, false, workers); err != nil {
+		return err
+	}
+	return runSweep(ctx, &p.bwd, f, b, true, workers)
+}
+
+// solveRun is the pooled mutable state of one sweep execution. The
+// sync.Pool keeps warm planned solves allocation-free: the dependency
+// counters, ready heap and segment table are reused at their high-water
+// capacity, and workers are plain method goroutines (no closures).
+type solveRun struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	wg   sync.WaitGroup
+
+	plan  *sweepPlan
+	f     *tilemat.Matrix
+	ctx   context.Context
+	tr    *obs.Tracer
+	trans bool
+
+	// segs holds one view header per tile row of b. Segment i is
+	// written only by tasks with dst == i, which the plan serializes.
+	segs []dense.Matrix
+	// deps is the countdown copy of the plan's in-degrees, decremented
+	// with atomics off the lock.
+	deps []int32
+	// heap is the ready max-heap ordered by plan priority (ties to the
+	// lower id, the sequential order); guarded by mu.
+	heap    []int32
+	pending int
+	err     error
+
+	// spawn caches one zero-argument closure per worker index. A
+	// `go fn()` on a stored func value starts the goroutine without any
+	// allocation, whereas `go r.work(w)` would heap-allocate a wrapper
+	// for the arguments on every sweep. Closures are built once per
+	// pooled run object at the worker-count high-water mark.
+	spawn []func()
+}
+
+var solveRunPool = sync.Pool{New: func() any {
+	r := &solveRun{}
+	r.cond.L = &r.mu
+	return r
+}}
+
+// runSweep executes one substitution direction. The calling goroutine
+// works alongside workers−1 spawned ones; all of them drain on error
+// or cancellation before the call returns (no goroutine outlives it).
+func runSweep(ctx context.Context, sp *sweepPlan, f *tilemat.Matrix, b *dense.Matrix, trans bool, workers int) error {
+	r := solveRunPool.Get().(*solveRun)
+	// Drop references before pooling so the run state cannot retain the
+	// factor or right-hand sides across requests.
+	defer func() {
+		for i := range r.segs {
+			r.segs[i] = dense.Matrix{}
+		}
+		r.plan, r.f, r.ctx, r.tr, r.err = nil, nil, nil, nil, nil
+		solveRunPool.Put(r)
+	}()
+	r.plan, r.f, r.ctx, r.trans = sp, f, ctx, trans
+	r.tr = obs.Active()
+
+	nt := f.NT
+	if cap(r.segs) < nt {
+		r.segs = make([]dense.Matrix, nt)
+	}
+	r.segs = r.segs[:nt]
+	for i := 0; i < nt; i++ {
+		r.segs[i] = b.RowBlock(f.RowStart(i), f.TileRows(i))
+	}
+	n := len(sp.tasks)
+	if cap(r.deps) < n {
+		r.deps = make([]int32, n)
+	}
+	r.deps = r.deps[:n]
+	copy(r.deps, sp.ndeps)
+	r.heap = r.heap[:0]
+	for _, t := range sp.roots {
+		r.pushLocked(t) // no workers yet: the lock is not needed
+	}
+	r.pending = n
+	r.err = nil
+
+	for len(r.spawn) < workers {
+		r.spawn = append(r.spawn, r.spawnFn(len(r.spawn)))
+	}
+	r.wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go r.spawn[w]()
+	}
+	r.work(0)
+	r.wg.Wait()
+	return r.err
+}
+
+// spawnFn builds the cached worker closure for one lane.
+func (r *solveRun) spawnFn(id int) func() {
+	return func() {
+		defer r.wg.Done()
+		r.work(id)
+	}
+}
+
+// work is the executor loop: pop the highest-priority ready task,
+// execute it, release successors whose dependency count hits zero.
+// Exits when the sweep completes or r.err is set (cancellation or a
+// sibling's failure) — in-flight tasks finish, waiting workers wake
+// via the broadcast, nothing is leaked.
+func (r *solveRun) work(id int) {
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	for {
+		r.mu.Lock()
+		for len(r.heap) == 0 && r.pending > 0 && r.err == nil {
+			r.cond.Wait()
+		}
+		if r.err != nil || len(r.heap) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		t := r.popLocked()
+		r.mu.Unlock()
+
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			return
+		}
+		r.exec(t, id, ws)
+
+		sp := r.plan
+		for s := sp.succOff[t]; s < sp.succOff[t+1]; s++ {
+			succ := sp.succs[s]
+			if atomic.AddInt32(&r.deps[succ], -1) == 0 {
+				r.mu.Lock()
+				r.pushLocked(succ)
+				r.mu.Unlock()
+				r.cond.Signal()
+			}
+		}
+		r.mu.Lock()
+		r.pending--
+		done := r.pending == 0
+		r.mu.Unlock()
+		if done {
+			r.cond.Broadcast()
+		}
+	}
+}
+
+// fail records the first error and wakes every waiting worker so the
+// pool drains.
+func (r *solveRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// exec runs one task through the same kernels, operand order and
+// workspace discipline as the sequential loop.
+func (r *solveRun) exec(t int32, id int, ws *dense.Workspace) {
+	task := r.plan.tasks[t]
+	i := int(task.dst)
+	bi := &r.segs[i]
+	if task.src == task.dst {
+		if r.trans {
+			dense.TrsmDet(dense.Lower, dense.Trans, dense.NonUnit, r.f.At(i, i).D, bi)
+		} else {
+			dense.TrsmDet(dense.Lower, dense.NoTrans, dense.NonUnit, r.f.At(i, i).D, bi)
+		}
+	} else {
+		p := int(task.src)
+		if r.trans {
+			tileMulAcc(r.f.At(p, i), true, -1, &r.segs[p], bi, ws)
+		} else {
+			tileMulAcc(r.f.At(i, p), false, -1, &r.segs[p], bi, ws)
+		}
+	}
+	if r.tr != nil {
+		// Level occupancy: one instant per task on the worker's lane,
+		// valued by the task's level set.
+		r.tr.Instant("solve.task", int32(id), float64(r.plan.level[t]))
+	}
+}
+
+// taskLess orders the ready heap: higher critical-path priority first,
+// ties to the lower task id (the sequential emission order).
+func (r *solveRun) taskLess(a, b int32) bool {
+	pa, pb := r.plan.prio[a], r.plan.prio[b]
+	if pa != pb {
+		return pa > pb
+	}
+	return a < b
+}
+
+func (r *solveRun) pushLocked(t int32) {
+	r.heap = append(r.heap, t)
+	i := len(r.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.taskLess(r.heap[i], r.heap[parent]) {
+			break
+		}
+		r.heap[i], r.heap[parent] = r.heap[parent], r.heap[i]
+		i = parent
+	}
+}
+
+func (r *solveRun) popLocked() int32 {
+	h := r.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	r.heap = h
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		next := i
+		if l < last && r.taskLess(h[l], h[next]) {
+			next = l
+		}
+		if rt < last && r.taskLess(h[rt], h[next]) {
+			next = rt
+		}
+		if next == i {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return top
+}

@@ -144,16 +144,21 @@ func gemmSmall(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
 }
 
 // GemmDet accumulates C += alpha·op(A)·op(B) with *column-oblivious*
-// kernel dispatch: the blocked-vs-direct decision looks only at op(A)'s
-// shape, never at op(B)'s column count. Combined with the facts that
-// both underlying kernels accumulate each output column from its own
-// op(B) column alone, in the same k-order, and that edge micro-tiles are
-// computed full-size against zero padding (kernel.go), this makes column
-// j of the result bitwise identical whether it rides in a 1-column or a
-// 1000-column call. The triangular-solve service path depends on this
-// property: a batched multi-RHS solve must reproduce each request's
-// solo solve exactly. Gemm itself keeps the flop-product dispatch,
-// which is faster for genuinely small products but width-dependent.
+// kernel dispatch: column j of the result is bitwise identical whether
+// it rides in a 1-column or a 1000-column call. The blocked-vs-direct
+// decision looks only at op(A)'s shape, never at op(B)'s column count;
+// both kernels accumulate each output column from its own op(B) column
+// alone, in the same k-order, and edge micro-tiles are computed
+// full-size against zero padding (kernel.go). Above the blocked
+// threshold a second, width-dependent dispatch picks between
+// gemmPacked and gemmNarrow — legal because gemmNarrow replicates the
+// packed kernel's per-element accumulation bit for bit, so the choice
+// is invisible in the output; it only strips the packing overhead that
+// dominates single-column applies on the solve latency path. The
+// triangular-solve service depends on this property: a batched
+// multi-RHS solve must reproduce each request's solo solve exactly.
+// Gemm itself keeps the flop-product dispatch, which is faster for
+// genuinely small products but rounds differently across widths.
 func GemmDet(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
 	ar, ac := opDims(tA, a)
 	br, bc := opDims(tB, b)
@@ -165,6 +170,10 @@ func GemmDet(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
 	}
 	// Dispatch as if op(B) always carried one micro-tile of columns.
 	if ar*ac*gemmNR >= gemmMinFlops {
+		if bc <= gemmNarrowMaxCols {
+			gemmNarrow(tA, tB, alpha, a, b, c)
+			return
+		}
 		gemmPacked(tA, tB, alpha, a, b, c)
 		return
 	}

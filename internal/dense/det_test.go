@@ -22,7 +22,7 @@ func column(m *Matrix, j int) *Matrix {
 // micro-tile (gemmNR) boundary.
 func TestGemmDetColumnOblivious(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	dims := []struct{ m, k int }{{3, 5}, {8, 8}, {17, 9}, {64, 64}, {100, 37}, {128, 128}}
+	dims := []struct{ m, k int }{{3, 5}, {8, 8}, {17, 9}, {33, 70}, {8, 200}, {64, 64}, {100, 37}, {128, 128}}
 	widths := []int{1, 2, 3, 4, 5, 7, 8, 16, 33}
 	for _, tA := range []TransFlag{NoTrans, Trans} {
 		for _, d := range dims {
@@ -93,6 +93,51 @@ func TestTrsmDetColumnOblivious(t *testing.T) {
 						if math.Float64bits(got) != math.Float64bits(want) {
 							t.Fatalf("TrsmDet column %d of %d differs bitwise at row %d (n=%d tA=%d)", j, w, i, n, tA)
 						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGemmNarrowMatchesPacked pins the contract that makes GemmDet's
+// width-dependent dispatch legal: for every transpose combination and
+// for shapes spanning ragged 4-row lane groups and the gemmKC block
+// boundary, a single-column gemmNarrow call must reproduce the packed
+// kernel's column bit for bit.
+func TestGemmNarrowMatchesPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dims := []struct{ m, k int }{
+		{16, 64},   // exact lane groups
+		{33, 70},   // ragged 4-row group (m%4 == 1)
+		{8, 200},   // skinny rank-style apply
+		{70, 300},  // crosses the gemmKC=256 block boundary
+		{128, 128}, // dense-tile apply
+	}
+	for _, tA := range []TransFlag{NoTrans, Trans} {
+		for _, tB := range []TransFlag{NoTrans, Trans} {
+			for _, d := range dims {
+				var a, b *Matrix
+				if tA == NoTrans {
+					a = Random(rng, d.m, d.k)
+				} else {
+					a = Random(rng, d.k, d.m)
+				}
+				if tB == NoTrans {
+					b = Random(rng, d.k, 1)
+				} else {
+					b = Random(rng, 1, d.k)
+				}
+				start := Random(rng, d.m, 1)
+				cNarrow := start.Clone()
+				cPacked := start.Clone()
+				gemmNarrow(tA, tB, -1, a, b, cNarrow)
+				gemmPacked(tA, tB, -1, a, b, cPacked)
+				for i := 0; i < d.m; i++ {
+					got, want := cNarrow.At(i, 0), cPacked.At(i, 0)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("gemmNarrow differs from gemmPacked at row %d (tA=%d tB=%d m=%d k=%d): %x vs %x",
+							i, tA, tB, d.m, d.k, math.Float64bits(got), math.Float64bits(want))
 					}
 				}
 			}

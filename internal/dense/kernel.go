@@ -197,3 +197,83 @@ func microKernelGeneric(kb int, ap, bp []float64, acc *[gemmMRMax * gemmNR]float
 	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
 	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
 }
+
+// gemmNarrowMaxCols bounds the op(B) widths that take the unpacked
+// narrow path in GemmDet. At one column, packing is pure overhead: the
+// op(A) panel is packed for a single use and three of the four
+// micro-tile columns compute against zero padding. From two columns up
+// the packed kernel's vector FMAs win back the packing cost, so the
+// narrow path stays out of the way.
+const gemmNarrowMaxCols = 1
+
+// gemmNarrow accumulates C += alpha·op(A)·op(B) for narrow op(B)
+// (≤ gemmNarrowMaxCols columns) without packing, replicating
+// gemmPacked's per-element arithmetic bit for bit: each output element
+// accumulates its dot product in ascending k order within each gemmKC
+// block — one fused multiply-add per step when the architecture kernel
+// is active (VFMADD231SD, matching the packed kernel's VFMADD231PD
+// lanes), separate multiply and add otherwise (matching
+// microKernelGeneric) — and folds alpha·acc into C once per block,
+// blocks in ascending order. GemmDet's column-obliviousness therefore
+// survives the width-dependent dispatch: a column computed here is
+// bitwise identical to the same column riding in a wide gemmPacked
+// call (pinned by TestGemmNarrowMatchesPacked).
+func gemmNarrow(tA, tB TransFlag, alpha float64, a, b, c *Matrix) {
+	m, k := opDims(tA, a)
+	_, n := opDims(tB, b)
+	// Element strides through the backing arrays: sa steps op(A) along
+	// k, da steps it between rows; sb steps op(B) along k.
+	sa, da := 1, a.Stride
+	if tA == Trans {
+		sa, da = a.Stride, 1
+	}
+	sb := b.Stride
+	if tB == Trans {
+		sb = 1
+	}
+	var acc [4]float64
+	for j := 0; j < n; j++ {
+		jOff := j
+		if tB == Trans {
+			jOff = j * b.Stride
+		}
+		for pc := 0; pc < k; pc += gemmKC {
+			kb := min(gemmKC, k-pc)
+			bOff := jOff + pc*sb
+			for i0 := 0; i0 < m; i0 += 4 {
+				rows := min(4, m-i0)
+				base := i0*da + pc*sa
+				if useArchKernel {
+					// Lanes past the last row alias lane 0: they stay
+					// in bounds, their results are discarded.
+					p0 := &a.Data[base]
+					p1, p2, p3 := p0, p0, p0
+					if rows > 1 {
+						p1 = &a.Data[base+da]
+					}
+					if rows > 2 {
+						p2 = &a.Data[base+2*da]
+					}
+					if rows > 3 {
+						p3 = &a.Data[base+3*da]
+					}
+					microDot4Asm(kb, p0, p1, p2, p3, sa*8, &b.Data[bOff], sb*8, &acc)
+					for r := 0; r < rows; r++ {
+						c.Data[(i0+r)*c.Stride+j] += alpha * acc[r]
+					}
+					continue
+				}
+				for r := 0; r < rows; r++ {
+					ai, bi := base+r*da, bOff
+					var s float64
+					for p := 0; p < kb; p++ {
+						s += a.Data[ai] * b.Data[bi]
+						ai += sa
+						bi += sb
+					}
+					c.Data[(i0+r)*c.Stride+j] += alpha * s
+				}
+			}
+		}
+	}
+}

@@ -25,6 +25,15 @@ func hasAVX2FMA() bool
 //go:noescape
 func microKernel8x4Asm(kb int, ap, bp, acc *float64)
 
+// microDot4Asm computes four independent dot products sharing one
+// op(B) column: acc[r] = Σ_p a_r[p·sa/8]·b[p·sb/8], each as a single
+// VFMADD231SD chain in ascending p — bitwise the per-element sequence
+// of the packed 8×4 kernel. sa and sb are byte strides; kb must be > 0.
+// Implemented in kernel_amd64.s.
+//
+//go:noescape
+func microDot4Asm(kb int, a0, a1, a2, a3 *float64, sa int, b *float64, sb int, acc *[4]float64)
+
 // microKernelArch is the architecture micro-kernel behind useArchKernel.
 func microKernelArch(kb int, ap, bp []float64, acc *[gemmMRMax * gemmNR]float64) {
 	if kb == 0 {

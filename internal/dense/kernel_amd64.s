@@ -95,3 +95,52 @@ loop:
 	VMOVUPD Y7, 224(DI)
 	VZEROUPPER
 	RET
+
+// func microDot4Asm(kb int, a0, a1, a2, a3 *float64, sa int, b *float64, sb int, acc *[4]float64)
+//
+// Four independent k-length dot products sharing one op(B) column:
+// acc[r] = sum_p ar[p·sa/8] · b[p·sb/8], each accumulated as a single
+// VFMADD231SD chain in ascending p — the same per-element operation
+// sequence the packed 8x4 kernel performs, so a column computed here is
+// bitwise identical to the same column of a gemmPacked call. sa and sb
+// are byte strides. kb > 0.
+TEXT ·microDot4Asm(SB), NOSPLIT, $0-72
+	MOVQ kb+0(FP), CX
+	MOVQ a0+8(FP), SI
+	MOVQ a1+16(FP), R8
+	MOVQ a2+24(FP), R9
+	MOVQ a3+32(FP), R10
+	MOVQ sa+40(FP), R11
+	MOVQ b+48(FP), DX
+	MOVQ sb+56(FP), R12
+	MOVQ acc+64(FP), DI
+
+	VXORPD X0, X0, X0
+	VXORPD X1, X1, X1
+	VXORPD X2, X2, X2
+	VXORPD X3, X3, X3
+
+dotloop:
+	VMOVSD      (DX), X8
+	VMOVSD      (SI), X9
+	VMOVSD      (R8), X10
+	VMOVSD      (R9), X11
+	VMOVSD      (R10), X12
+	VFMADD231SD X8, X9, X0
+	VFMADD231SD X8, X10, X1
+	VFMADD231SD X8, X11, X2
+	VFMADD231SD X8, X12, X3
+	ADDQ        R11, SI
+	ADDQ        R11, R8
+	ADDQ        R11, R9
+	ADDQ        R11, R10
+	ADDQ        R12, DX
+	DECQ        CX
+	JNE         dotloop
+
+	VMOVSD X0, (DI)
+	VMOVSD X1, 8(DI)
+	VMOVSD X2, 16(DI)
+	VMOVSD X3, 24(DI)
+	VZEROUPPER
+	RET

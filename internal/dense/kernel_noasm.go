@@ -11,3 +11,9 @@ const useArchKernel = false
 func microKernelArch(kb int, ap, bp []float64, acc *[gemmMRMax * gemmNR]float64) {
 	microKernelGeneric(kb, ap, bp, acc)
 }
+
+// microDot4Asm is never called when useArchKernel is false; gemmNarrow
+// takes the generic mul+add branch instead.
+func microDot4Asm(kb int, a0, a1, a2, a3 *float64, sa int, b *float64, sb int, acc *[4]float64) {
+	panic("dense: microDot4Asm without an architecture kernel")
+}

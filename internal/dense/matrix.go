@@ -80,6 +80,17 @@ func (m *Matrix) viewVal(i, j, r, c int) Matrix {
 	return Matrix{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[i*m.Stride+j:]}
 }
 
+// RowBlock returns a full-width view of rows [i0, i0+r) as a value
+// header — the allocation-free sibling of View for hot paths that keep
+// the header in caller-owned storage (the planned solve executor builds
+// its per-tile-row segment table with it once per run).
+func (m *Matrix) RowBlock(i0, r int) Matrix {
+	if i0 < 0 || i0+r > m.Rows {
+		panic(fmt.Sprintf("dense: RowBlock (%d,%d) out of %d rows", i0, r, m.Rows))
+	}
+	return Matrix{Rows: r, Cols: m.Cols, Stride: m.Stride, Data: m.Data[i0*m.Stride:]}
+}
+
 // Clone returns a deep copy of m with a compact stride.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

@@ -72,3 +72,23 @@ func CompressQRCP(b, k int) float64 {
 func GenerateTile(b int) float64 {
 	return 20 * float64(b) * float64(b)
 }
+
+// SolveApplyDense returns the flops of one dense-tile substitution
+// update dst −= T·x (or Tᵀ·x) against a single right-hand-side column:
+// 2rc for an r×c tile.
+func SolveApplyDense(r, c int) float64 {
+	return 2 * float64(r) * float64(c)
+}
+
+// SolveApplyLR returns the flops of one low-rank-tile substitution
+// update through the U·(Vᵀ·x) chain against a single column: 2k(r+c)
+// for an r×c tile of rank k.
+func SolveApplyLR(r, c, k int) float64 {
+	return 2 * float64(k) * (float64(r) + float64(c))
+}
+
+// SolveTrsm returns the flops of one diagonal-tile triangular solve
+// against a single column: b² for a b×b tile.
+func SolveTrsm(b int) float64 {
+	return float64(b) * float64(b)
+}

@@ -39,7 +39,11 @@ type solveOutcome struct {
 	batchCols  int
 	waited     time.Duration
 	solved     time.Duration
-	err        error
+	// subst is the time spent inside the substitution (or refinement)
+	// itself — no batch assembly, no residual evaluation — the number
+	// the solve-plan work targets and /v1/stats reports percentiles of.
+	subst time.Duration
+	err   error
 }
 
 // pendingBatch collects jobs for one key during its window.
@@ -63,6 +67,7 @@ type Batcher struct {
 	window  time.Duration
 	maxCols int
 	timeout time.Duration
+	workers int
 	pending map[batchKey]*pendingBatch
 
 	batches *obs.Counter
@@ -72,8 +77,9 @@ type Batcher struct {
 
 // NewBatcher returns a batcher with the given coalescing window
 // (≤ 0 disables waiting: every request solves alone), per-batch column
-// cap (≤ 0 means 64) and solve timeout (≤ 0 means 1 minute).
-func NewBatcher(window time.Duration, maxCols int, timeout time.Duration, reg *obs.Registry) *Batcher {
+// cap (≤ 0 means 64), solve timeout (≤ 0 means 1 minute) and solve
+// worker count (≤ 0 means GOMAXPROCS), reporting to reg.
+func NewBatcher(window time.Duration, maxCols int, timeout time.Duration, workers int, reg *obs.Registry) *Batcher {
 	if maxCols <= 0 {
 		maxCols = 64
 	}
@@ -84,6 +90,7 @@ func NewBatcher(window time.Duration, maxCols int, timeout time.Duration, reg *o
 		window:  window,
 		maxCols: maxCols,
 		timeout: timeout,
+		workers: workers,
 		pending: map[batchKey]*pendingBatch{},
 		batches: reg.Counter("serve.batch.count"),
 		columns: reg.Counter("serve.batch.columns"),
@@ -176,17 +183,33 @@ func (b *Batcher) execute(f *Factor, p SolveParams, jobs []*solveJob) {
 	var (
 		residuals  []float64
 		iterations []int
+		subst      time.Duration
 		err        error
 	)
 	if p.Refine {
+		// Refinement interleaves substitutions with operator applies;
+		// the whole loop is the substitution-side cost.
 		var res core.RefineResult
-		res, err = core.RefineCtx(ctx, f.L, core.TLROperator{M: f.Op}, wide, p.MaxIter, p.Target)
+		substStart := time.Now()
+		if f.Plan != nil {
+			res, err = f.Plan.RefineCtx(ctx, f.L, core.TLROperator{M: f.Op}, wide, p.MaxIter, p.Target, b.workers)
+		} else {
+			res, err = core.RefineCtx(ctx, f.L, core.TLROperator{M: f.Op}, wide, p.MaxIter, p.Target)
+		}
+		subst = time.Since(substStart)
 		if err == nil {
 			residuals, iterations = res.ColResiduals, res.ColIterations
 		}
 	} else {
 		rhs := wide.Clone()
-		if err = core.SolveCtx(ctx, f.L, wide); err == nil {
+		substStart := time.Now()
+		if f.Plan != nil {
+			err = f.Plan.SolveCtx(ctx, f.L, wide, b.workers)
+		} else {
+			err = core.SolveCtx(ctx, f.L, wide)
+		}
+		subst = time.Since(substStart)
+		if err == nil {
 			residuals = core.ColumnResiduals(core.TLROperator{M: f.Op}, wide, rhs)
 		}
 	}
@@ -198,7 +221,7 @@ func (b *Batcher) execute(f *Factor, p SolveParams, jobs []*solveJob) {
 	at = 0
 	for _, j := range jobs {
 		k := j.cols.Cols
-		out := solveOutcome{batchCols: total, waited: waited.Sub(j.start), solved: solved, err: err}
+		out := solveOutcome{batchCols: total, waited: waited.Sub(j.start), solved: solved, subst: subst, err: err}
 		if err == nil {
 			for c := 0; c < k; c++ {
 				for r := 0; r < n; r++ {

@@ -37,7 +37,7 @@ func buildTestFactor(t testing.TB, n int) *Factor {
 func TestBatcherCoalesce(t *testing.T) {
 	const n, k = 256, 8
 	f := buildTestFactor(t, n)
-	b := NewBatcher(2*time.Second, k, time.Minute, obs.NewRegistry(4))
+	b := NewBatcher(2*time.Second, k, time.Minute, 0, obs.NewRegistry(4))
 	rng := rand.New(rand.NewSource(3))
 	rhs := dense.Random(rng, n, k)
 
@@ -86,7 +86,7 @@ func TestBatcherCoalesce(t *testing.T) {
 func TestBatcherRefine(t *testing.T) {
 	const n = 256
 	f := buildTestFactor(t, n)
-	b := NewBatcher(0, 8, time.Minute, obs.NewRegistry(4))
+	b := NewBatcher(0, 8, time.Minute, 0, obs.NewRegistry(4))
 	rng := rand.New(rand.NewSource(4))
 	cols := dense.Random(rng, n, 2)
 	out := b.Solve(context.Background(), f, SolveParams{Refine: true, MaxIter: 10, Target: 1e-9}, cols)
@@ -108,7 +108,7 @@ func TestBatcherRefine(t *testing.T) {
 func TestBatcherCtxAbandon(t *testing.T) {
 	const n = 256
 	f := buildTestFactor(t, n)
-	b := NewBatcher(300*time.Millisecond, 8, time.Minute, obs.NewRegistry(4))
+	b := NewBatcher(300*time.Millisecond, 8, time.Minute, 0, obs.NewRegistry(4))
 	ctx, cancel := context.WithCancel(context.Background())
 
 	var wg sync.WaitGroup

@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 
+	"tlrchol/internal/core"
 	"tlrchol/internal/obs"
 	"tlrchol/internal/tilemat"
 )
@@ -20,7 +21,14 @@ type Factor struct {
 	L *tilemat.Matrix
 	// Op is the unfactorized compressed operator (for TLROperator).
 	Op *tilemat.Matrix
-	// SizeBytes charges both matrices against the cache budget.
+	// Plan is the precomputed substitution schedule for L, built under
+	// the same single-flight as the factor and evicted with it. Solves
+	// against this factor route through it; a nil plan (older tests
+	// construct Factor literals) falls back to the auto-dispatching
+	// core solve.
+	Plan *core.SolvePlan
+	// SizeBytes charges both matrices and the plan against the cache
+	// budget.
 	SizeBytes int64
 	// FactorStats summarizes the factorization that produced L.
 	FactorStats FactorStats
@@ -34,6 +42,11 @@ type FactorStats struct {
 	MaxRank       int     `json:"max_rank"`
 	TasksTrimmed  int     `json:"tasks_trimmed"`
 	TasksExecuted int     `json:"tasks_executed"`
+	// Solve-plan summary: build time, level-set depth (forward sweep)
+	// and the widest level across both sweeps.
+	PlanBuildMS  float64 `json:"plan_build_ms"`
+	PlanLevels   int     `json:"plan_levels"`
+	PlanMaxWidth int     `json:"plan_max_width"`
 }
 
 // cacheEntry is one slot of the factor cache. ready is closed exactly

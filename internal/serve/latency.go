@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencyRing keeps the most recent substitution-only latencies (the
+// time spent inside the triangular sweeps, excluding cache waits and
+// batcher windows) and reports nearest-rank percentiles over that
+// window. A fixed ring bounds memory for a long-lived server while
+// staying responsive to workload shifts; the histogram in the metrics
+// registry keeps the lifetime view.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	count uint64
+}
+
+// newLatencyRing returns a ring over the last size samples (≤ 0 means
+// 1024).
+func newLatencyRing(size int) *latencyRing {
+	if size <= 0 {
+		size = 1024
+	}
+	return &latencyRing{buf: make([]float64, 0, size)}
+}
+
+// Record adds one latency sample in milliseconds.
+func (l *latencyRing) Record(ms float64) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ms)
+	} else {
+		l.buf[l.next] = ms
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.count++
+	l.mu.Unlock()
+}
+
+// SolveLatencyStats is the /v1/stats view of recent solve-only latency.
+type SolveLatencyStats struct {
+	// Count is the lifetime number of recorded solves; the percentiles
+	// cover only the ring window (the most recent samples).
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Stats computes nearest-rank percentiles over the current window.
+func (l *latencyRing) Stats() SolveLatencyStats {
+	l.mu.Lock()
+	sorted := append([]float64(nil), l.buf...)
+	count := l.count
+	l.mu.Unlock()
+	out := SolveLatencyStats{Count: count}
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	out.P50MS = rank(0.50)
+	out.P95MS = rank(0.95)
+	out.P99MS = rank(0.99)
+	return out
+}

@@ -50,6 +50,10 @@ type Config struct {
 	SolveTimeout time.Duration
 	// Workers is the factorization worker count (0 = GOMAXPROCS).
 	Workers int
+	// SolveWorkers is the worker count for planned parallel
+	// substitutions (0 = GOMAXPROCS; the executor further clamps to the
+	// plan's widest level set).
+	SolveWorkers int
 	// Metrics selects the registry (nil = obs.Default).
 	Metrics *obs.Registry
 }
@@ -94,7 +98,10 @@ type Server struct {
 	started time.Time
 
 	factorRuns, factorReqs, solveReqs, httpErrors *obs.Counter
-	factorLatency, solveLatency                   *obs.Histogram
+	factorLatency, solveLatency, substLatency     *obs.Histogram
+	// solveOnly tracks recent substitution-only latencies for the
+	// /v1/stats percentile report.
+	solveOnly *latencyRing
 
 	statsMu  sync.Mutex
 	lastSnap obs.MetricsSnapshot
@@ -108,7 +115,7 @@ func New(cfg Config) *Server {
 		cfg:           cfg,
 		reg:           reg,
 		cache:         NewFactorCache(cfg.CacheBudget, reg),
-		batcher:       NewBatcher(cfg.BatchWindow, cfg.MaxBatchCols, cfg.SolveTimeout, reg),
+		batcher:       NewBatcher(cfg.BatchWindow, cfg.MaxBatchCols, cfg.SolveTimeout, cfg.SolveWorkers, reg),
 		adm:           NewAdmission(cfg.MaxInflight, reg),
 		mux:           http.NewServeMux(),
 		started:       time.Now(),
@@ -118,6 +125,8 @@ func New(cfg Config) *Server {
 		httpErrors:    reg.Counter("serve.http.errors"),
 		factorLatency: reg.Histogram("serve.factorize.latency_ms", 10, 100, 1000, 10000, 60000),
 		solveLatency:  reg.Histogram("serve.solve.latency_ms", 1, 5, 10, 50, 100, 1000, 10000),
+		substLatency:  reg.Histogram("serve.solve.subst_ms", 1, 5, 10, 50, 100, 1000, 10000),
+		solveOnly:     newLatencyRing(0),
 	}
 	s.mux.HandleFunc("POST /v1/factorize", s.handleFactorize)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -258,6 +267,14 @@ func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Facto
 	if err != nil {
 		return nil, fmt.Errorf("factorization failed: %w", err)
 	}
+	// Build the substitution schedule alongside the factor, still under
+	// the single-flight: every solve against this entry reuses it, and
+	// its bytes ride the same cache budget (evicted together).
+	planStart := time.Now()
+	plan := core.BuildSolvePlan(m)
+	planBuild := time.Since(planStart)
+	fwdLevels, _ := plan.Levels()
+
 	elapsed := time.Since(start)
 	s.factorLatency.Observe(0, float64(elapsed.Milliseconds()))
 	st := m.Stats()
@@ -266,7 +283,8 @@ func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Facto
 		Spec:      sp,
 		L:         m,
 		Op:        op,
-		SizeBytes: int64(m.Bytes() + op.Bytes()),
+		Plan:      plan,
+		SizeBytes: int64(m.Bytes()+op.Bytes()) + plan.Bytes(),
 		FactorStats: FactorStats{
 			ElapsedMS:     float64(elapsed.Milliseconds()),
 			CompressMS:    float64(compress.Milliseconds()),
@@ -274,6 +292,9 @@ func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Facto
 			MaxRank:       st.Max,
 			TasksTrimmed:  rep.TasksTrimmed,
 			TasksExecuted: rep.TasksExecuted,
+			PlanBuildMS:   float64(planBuild) / float64(time.Millisecond),
+			PlanLevels:    fwdLevels,
+			PlanMaxWidth:  plan.MaxWidth(),
 		},
 	}, nil
 }
@@ -301,15 +322,18 @@ type SolveRequest struct {
 
 // SolveResponse reports per-column results plus batching evidence.
 type SolveResponse struct {
-	Fingerprint string      `json:"fingerprint"`
-	Cached      bool        `json:"cached"`
-	Columns     int         `json:"columns"`
-	BatchCols   int         `json:"batch_columns"`
-	WaitMS      float64     `json:"wait_ms"`
-	SolveMS     float64     `json:"solve_ms"`
-	Residuals   []float64   `json:"residuals"`
-	Iterations  []int       `json:"iterations,omitempty"`
-	Solution    [][]float64 `json:"solution,omitempty"`
+	Fingerprint string  `json:"fingerprint"`
+	Cached      bool    `json:"cached"`
+	Columns     int     `json:"columns"`
+	BatchCols   int     `json:"batch_columns"`
+	WaitMS      float64 `json:"wait_ms"`
+	SolveMS     float64 `json:"solve_ms"`
+	// SubstMS is the time inside the triangular substitution alone —
+	// no batching wait, no residual evaluation.
+	SubstMS    float64     `json:"subst_ms"`
+	Residuals  []float64   `json:"residuals"`
+	Iterations []int       `json:"iterations,omitempty"`
+	Solution   [][]float64 `json:"solution,omitempty"`
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -388,6 +412,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.solveLatency.Observe(0, float64(time.Since(reqStart).Milliseconds()))
+	substMS := float64(out.subst) / float64(time.Millisecond)
+	s.substLatency.Observe(0, substMS)
+	s.solveOnly.Record(substMS)
 
 	resp := SolveResponse{
 		Fingerprint: f.FP,
@@ -396,6 +423,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		BatchCols:   out.batchCols,
 		WaitMS:      float64(out.waited) / float64(time.Millisecond),
 		SolveMS:     float64(out.solved) / float64(time.Millisecond),
+		SubstMS:     substMS,
 		Residuals:   out.residuals,
 		Iterations:  out.iterations,
 	}
@@ -450,6 +478,7 @@ type StatsResponse struct {
 	UptimeSec float64           `json:"uptime_sec"`
 	Cache     CacheStats        `json:"cache"`
 	Admission AdmissionStats    `json:"admission"`
+	SolveOnly SolveLatencyStats `json:"solve_only"`
 	Totals    map[string]uint64 `json:"totals"`
 	Window    map[string]uint64 `json:"window"`
 }
@@ -472,6 +501,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSec: time.Since(s.started).Seconds(),
 		Cache:     s.cache.Stats(),
 		Admission: s.adm.Stats(),
+		SolveOnly: s.solveOnly.Stats(),
 		Totals:    counterMap(snap),
 		Window:    counterMap(delta),
 	})

@@ -307,3 +307,78 @@ func TestServerValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestServerSolvePlan covers the solve-plan wiring end to end: the
+// factorize response carries plan stats (built under the single-flight
+// alongside the factor), solve responses report substitution-only
+// latency, and /v1/stats serves solve-only percentiles from the
+// latency ring.
+func TestServerSolvePlan(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = -1 // solve alone: deterministic request counts
+	})
+	spec := ProblemSpec{N: 512, Tile: 64, Tol: 1e-7}
+
+	resp, body := postJSON(t, ts.URL+"/v1/factorize", FactorizeRequest{Problem: spec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factorize: status %d: %s", resp.StatusCode, body)
+	}
+	var fr FactorizeResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Stats.PlanLevels < 1 {
+		t.Fatalf("plan levels %d: every sweep has at least one level", fr.Stats.PlanLevels)
+	}
+	if fr.Stats.PlanMaxWidth < 1 {
+		t.Fatalf("plan max width %d", fr.Stats.PlanMaxWidth)
+	}
+	if fr.Stats.PlanBuildMS < 0 {
+		t.Fatalf("negative plan build time %g", fr.Stats.PlanBuildMS)
+	}
+	// The cached entry must actually carry the plan, and its bytes must
+	// be charged to the cache budget.
+	f, ok := s.cache.Lookup(fr.Fingerprint)
+	if !ok || f.Plan == nil {
+		t.Fatalf("cached factor is missing its solve plan")
+	}
+	if f.SizeBytes <= int64(f.L.Bytes()+f.Op.Bytes()) {
+		t.Fatalf("plan bytes not charged to the cache budget")
+	}
+
+	const solves = 5
+	for i := 0; i < solves; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+			Fingerprint: fr.Fingerprint,
+			NRHS:        1,
+			RHSSeed:     int64(i + 1),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var sr SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.SubstMS < 0 || sr.SubstMS > sr.SolveMS {
+			t.Fatalf("solve %d: subst_ms %g outside [0, solve_ms=%g]", i, sr.SubstMS, sr.SolveMS)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SolveOnly.Count != solves {
+		t.Fatalf("solve-only latency count %d, want %d", st.SolveOnly.Count, solves)
+	}
+	if st.SolveOnly.P50MS < 0 || st.SolveOnly.P95MS < st.SolveOnly.P50MS || st.SolveOnly.P99MS < st.SolveOnly.P95MS {
+		t.Fatalf("solve-only percentiles not monotone: %+v", st.SolveOnly)
+	}
+}

@@ -60,6 +60,12 @@ echo "$dist_out" | grep -q 'measured comm volume:' || {
 echo "$dist_out" | grep -q 'sim prediction' || {
     echo "check.sh: distributed run printed no sim prediction" >&2; exit 1; }
 
+echo "== solve scheduler gate"
+# The planned parallel substitution must reproduce the sequential bits
+# under the race detector, and cancellation mid-sweep must join every
+# worker. These are the two properties the whole scheduler rests on.
+go test -race -run 'TestSolvePlannedBitwise|TestSolvePlannedCancel' ./internal/core
+
 echo "== solve service smoke gate"
 # A real tlrserve on a random port must: factorize once for 8
 # concurrent solves against the same problem (single-flight dedup,
@@ -89,6 +95,12 @@ done
 runs="$(curl -sf "$base/metrics" | awk '$1 == "serve.factorize.runs" {print $2}')"
 [ "$runs" = "1" ] || {
     echo "check.sh: expected exactly 1 factorization for 8 concurrent solves, got '$runs'" >&2; exit 1; }
+# The factor must have come with a solve plan: every /v1/solve on it is
+# routed through the planned executor, so the plan-build counter moves
+# exactly once per factorization.
+plans="$(curl -sf "$base/metrics" | awk '$1 == "solve.plan.build" {print $2}')"
+[ -n "$plans" ] && [ "$plans" -ge 1 ] || {
+    echo "check.sh: expected >=1 solve plan build, got '$plans'" >&2; exit 1; }
 curl -sf "$base/v1/stats" | grep -q '"uptime_sec"' || {
     echo "check.sh: /v1/stats did not answer" >&2; exit 1; }
 kill -TERM "$serve_pid"
