@@ -41,6 +41,10 @@ func main() {
 	factorTimeout := flag.Duration("factor-timeout", 5*time.Minute, "per-factorization budget")
 	solveTimeout := flag.Duration("solve-timeout", time.Minute, "per-batch solve budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	trace := flag.Bool("trace", true, "record per-request span detail for the flight recorder (/v1/trace/<id>)")
+	traceSpans := flag.Int("trace-spans", 0, "span ring capacity per traced request (0 = default 4096)")
+	flightSlow := flag.Int("flight-slow", 0, "slowest traces retained per endpoint (0 = default 32)")
+	accessLog := flag.String("access-log", "", "structured JSON access log: file path, or - for stdout (empty disables)")
 
 	loadgen := flag.Bool("loadgen", false, "drive a server instead of being one")
 	target := flag.String("target", "", "loadgen: base URL of the server (empty = start one in-process)")
@@ -63,6 +67,23 @@ func main() {
 		SolveTimeout:     *solveTimeout,
 		Workers:          *workers,
 		SolveWorkers:     *solveWorkers,
+		DisableTracing:   !*trace,
+		TraceSpanCap:     *traceSpans,
+		FlightSlow:       *flightSlow,
+	}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stdout
+	default:
+		// Unbuffered appends: every line reaches the kernel as written,
+		// so no close is needed before the os.Exit below.
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlrserve: cannot open access log: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.AccessLog = f
 	}
 
 	if *loadgen {
@@ -160,6 +181,14 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 		rejected  int
 		failed    int
 		batchSum  int
+		// Slowest successful request, tracked by trace id so the run's
+		// tail is explainable offline via /v1/trace/<id>. When that
+		// request rode a shared batch as a follower, the per-task span
+		// detail sits on the batch leader's trace.
+		slowest       time.Duration
+		slowestID     string
+		slowestLeader string
+		slowestBatch  int
 	)
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / lg.rate)
@@ -197,6 +226,10 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 				if json.Unmarshal(body, &resp) == nil {
 					batchSum += resp.BatchCols
 					substMS = append(substMS, resp.SubstMS)
+					if elapsed > slowest && resp.TraceID != "" {
+						slowest, slowestID, slowestBatch = elapsed, resp.TraceID, resp.BatchCols
+						slowestLeader = resp.LeaderTrace
+					}
 				}
 			}
 		}(seed)
@@ -230,6 +263,37 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 	}
 	fmt.Printf("mean batch width %.1f columns\n", float64(batchSum)/float64(len(latencies)))
 
+	// Tail report: name the slowest request and pull its retained trace
+	// so the run's worst case is explainable after the fact.
+	if slowestID != "" {
+		fmt.Printf("slowest request: trace %s e2e %v batch %d — GET /v1/trace/%s\n",
+			slowestID, slowest.Round(time.Microsecond), slowestBatch, slowestID)
+		fetchTrace := func(label, id string) {
+			resp, err := http.Get(target + "/v1/trace/" + id)
+			if err != nil {
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Printf("%s: not retained (status %d — aged out of the flight recorder)\n", label, resp.StatusCode)
+				return
+			}
+			if tc, err := obs.ValidateChromeTrace(body); err == nil {
+				fmt.Printf("%s: %d spans across %d tracks (valid Chrome/Perfetto trace, %d bytes)\n",
+					label, tc.Spans, tc.Workers, len(body))
+			} else {
+				fmt.Fprintf(os.Stderr, "loadgen: %s invalid: %v\n", label, err)
+			}
+		}
+		fetchTrace("slowest trace", slowestID)
+		if slowestLeader != "" && slowestLeader != slowestID {
+			// The slowest request followed another request's batch; its
+			// per-task execution spans are on the leader's trace.
+			fetchTrace("its batch leader trace "+slowestLeader, slowestLeader)
+		}
+	}
+
 	// Cache effectiveness from the server's own accounting.
 	if resp, err := http.Get(target + "/v1/stats"); err == nil {
 		body, _ := io.ReadAll(resp.Body)
@@ -241,6 +305,11 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 				fmt.Printf("factor cache: %.1f%% hit rate (%d hits, %d singleflight waits, %d misses, %d factorization runs)\n",
 					100*float64(st.Cache.Hits+st.Cache.Waits)/float64(refs),
 					st.Cache.Hits, st.Cache.Waits, st.Cache.Misses, st.Totals["serve.factorize.runs"])
+			}
+			if st.Request.Count > 0 {
+				p := st.Request.P99
+				fmt.Printf("p99 breakdown (trace %s): e2e %.3fms = queue %.3f + factor %.3f + batch-wait %.3f + subst %.3f + refine %.3f + resid %.3f + other %.3f\n",
+					p.TraceID, p.E2EMS, p.QueueMS, p.FactorMS, p.BatchWaitMS, p.SubstMS, p.RefineMS, p.ResidMS, p.OtherMS)
 			}
 		}
 	}

@@ -137,8 +137,14 @@ func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
 	}
 	var rep Report
 	var structure trim.Structure
+	// Request-scoped spans (nil-safe): a cache-miss factorization inside
+	// the solve service lands its analyze/run intervals on the request's
+	// trace, so /v1/trace/<id> explains rebuild latency.
+	rt := obs.TraceFrom(opts.Context)
 	if opts.Trim {
+		t0 := rt.Now()
 		a := trim.Analyze(rankArray{m}, trim.AllLocal)
+		rt.Span("factor.analyze", -1, t0, rt.Now()-t0, obs.SpanInfo{}, false)
 		rep.Analysis = a.AnalysisTime
 		rep.AnalysisBytes = a.AnalysisBytes
 		structure = a
@@ -157,6 +163,7 @@ func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
 	effBefore, dnsBefore := in.flopTotals()
 
 	start := time.Now()
+	runStart := rt.Now()
 	var err error
 	if opts.Sequential {
 		err = factorizeSequential(m, structure, opts, in)
@@ -173,6 +180,7 @@ func Factorize(m *tilemat.Matrix, opts Options) (Report, error) {
 	rep.Elapsed = time.Since(start)
 	effAfter, dnsAfter := in.flopTotals()
 	rep.EffFlops, rep.DenseFlops = effAfter-effBefore, dnsAfter-dnsBefore
+	rt.Span("factor.run", -1, runStart, rt.Now()-runStart, obs.SpanInfo{Flops: rep.EffFlops}, rep.EffFlops > 0)
 	if err != nil {
 		return rep, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"tlrchol/internal/dense"
 	"tlrchol/internal/tilemat"
@@ -77,6 +78,11 @@ type RefineResult struct {
 	// ColResiduals holds the final per-column relative residual
 	// ‖b_j − A·x_j‖₂ / ‖b_j‖₂ (0 for all-zero right-hand sides).
 	ColResiduals []float64
+	// SubstTime is the wall time spent inside triangular substitutions
+	// (the initial solve plus every correction solve), letting callers
+	// split a refined solve's latency into pure substitution versus
+	// refinement overhead (residual applies, norms, updates).
+	SubstTime time.Duration
 }
 
 // Refine improves a TLR-factored solve by classical iterative
@@ -120,8 +126,12 @@ func (p *SolvePlan) RefineCtx(ctx context.Context, f *tilemat.Matrix, op Operato
 // refineWith is the shared refinement loop; p == nil routes inner
 // solves through the auto-dispatching SolveCtx, otherwise through
 // p.SolveCtx with the given worker count.
-func refineWith(ctx context.Context, p *SolvePlan, workers int, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (RefineResult, error) {
+func refineWith(ctx context.Context, p *SolvePlan, workers int, f *tilemat.Matrix, op Operator, b *dense.Matrix, maxIter int, target float64) (out RefineResult, _ error) {
+	var substTotal time.Duration
+	defer func() { out.SubstTime = substTotal }()
 	solve := func(m *dense.Matrix) error {
+		t0 := time.Now()
+		defer func() { substTotal += time.Since(t0) }()
 		if p != nil {
 			return p.SolveCtx(ctx, f, m, workers)
 		}

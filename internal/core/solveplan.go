@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"context"
 
@@ -70,6 +71,9 @@ type sweepPlan struct {
 	// the longest remaining chain first, keeping the diagonal spine —
 	// the latency bottleneck — moving.
 	prio []int64
+	// cost is each task's own per-column flop weight, kept for the
+	// per-task span annotations of request-scoped tracing.
+	cost []float64
 	// level is each task's depth in the DAG; levels/maxWidth summarize
 	// the level sets for sizing and observability.
 	level    []int32
@@ -98,7 +102,7 @@ func buildSweep(f *tilemat.Matrix, backward bool) sweepPlan {
 		}
 	}
 	p.tasks = make([]solveTask, 0, total)
-	cost := make([]float64, 0, total)
+	p.cost = make([]float64, 0, total)
 
 	// Pass 2: emit tasks in sequential order and record dependencies.
 	// preds is small (≤ 2 per task): the reader dependency on the
@@ -120,7 +124,7 @@ func buildSweep(f *tilemat.Matrix, backward bool) sweepPlan {
 		for _, pr := range partners {
 			id := int32(len(p.tasks))
 			p.tasks = append(p.tasks, solveTask{dst: int32(i), src: pr})
-			cost = append(cost, applyCost(f, i, int(pr), backward))
+			p.cost = append(p.cost, applyCost(f, i, int(pr), backward))
 			edges = append(edges, edge{from: trsmID[pr], to: id})
 			if prev >= 0 {
 				edges = append(edges, edge{from: prev, to: id})
@@ -129,7 +133,7 @@ func buildSweep(f *tilemat.Matrix, backward bool) sweepPlan {
 		}
 		id := int32(len(p.tasks))
 		p.tasks = append(p.tasks, solveTask{dst: int32(i), src: int32(i)})
-		cost = append(cost, flops.SolveTrsm(f.TileRows(i)))
+		p.cost = append(p.cost, flops.SolveTrsm(f.TileRows(i)))
 		if prev >= 0 {
 			edges = append(edges, edge{from: prev, to: id})
 		}
@@ -163,7 +167,7 @@ func buildSweep(f *tilemat.Matrix, backward bool) sweepPlan {
 				best = v
 			}
 		}
-		p.prio[t] = best + int64(cost[t])
+		p.prio[t] = best + int64(p.cost[t])
 	}
 
 	// Level sets: depth propagates forward along ascending ids.
@@ -265,7 +269,7 @@ func (p *SolvePlan) Bytes() int64 {
 
 func (s *sweepPlan) bytes() int64 {
 	return int64(8*len(s.tasks) + 4*len(s.ndeps) + 4*len(s.succs) +
-		4*len(s.succOff) + 8*len(s.prio) + 4*len(s.level) + 4*len(s.roots))
+		4*len(s.succOff) + 8*len(s.prio) + 8*len(s.cost) + 4*len(s.level) + 4*len(s.roots))
 }
 
 // Tasks returns the total task count across both sweeps.
@@ -327,6 +331,7 @@ type solveRun struct {
 	f     *tilemat.Matrix
 	ctx   context.Context
 	tr    *obs.Tracer
+	rt    *obs.ReqTrace
 	trans bool
 
 	// segs holds one view header per tile row of b. Segment i is
@@ -366,11 +371,17 @@ func runSweep(ctx context.Context, sp *sweepPlan, f *tilemat.Matrix, b *dense.Ma
 		for i := range r.segs {
 			r.segs[i] = dense.Matrix{}
 		}
-		r.plan, r.f, r.ctx, r.tr, r.err = nil, nil, nil, nil, nil
+		r.plan, r.f, r.ctx, r.tr, r.rt, r.err = nil, nil, nil, nil, nil, nil
 		solveRunPool.Put(r)
 	}()
 	r.plan, r.f, r.ctx, r.trans = sp, f, ctx, trans
 	r.tr = obs.Active()
+	// Request-scoped span detail: only attach the trace when its span
+	// ring exists, so the warm path with tracing off (or detail off)
+	// keeps r.rt nil and exec skips even the clock reads.
+	if rt := obs.TraceFrom(ctx); rt.Detailed() {
+		r.rt = rt
+	}
 
 	nt := f.NT
 	if cap(r.segs) < nt {
@@ -474,6 +485,10 @@ func (r *solveRun) fail(err error) {
 // workspace discipline as the sequential loop.
 func (r *solveRun) exec(t int32, id int, ws *dense.Workspace) {
 	task := r.plan.tasks[t]
+	var tstart time.Duration
+	if r.rt != nil {
+		tstart = r.rt.Now()
+	}
 	i := int(task.dst)
 	bi := &r.segs[i]
 	if task.src == task.dst {
@@ -494,6 +509,21 @@ func (r *solveRun) exec(t int32, id int, ws *dense.Workspace) {
 		// Level occupancy: one instant per task on the worker's lane,
 		// valued by the task's level set.
 		r.tr.Instant("solve.task", int32(id), float64(r.plan.level[t]))
+	}
+	if r.rt != nil {
+		// Per-task request span: static names keep this allocation-free;
+		// task id, partner rows, DAG level and flop weight ride SpanInfo.
+		name := "solve.apply"
+		if task.src == task.dst {
+			name = "solve.trsm"
+		}
+		r.rt.Span(name, int32(id), tstart, r.rt.Now()-tstart, obs.SpanInfo{
+			K:      t,
+			M:      task.dst,
+			N:      task.src,
+			RankIn: r.plan.level[t],
+			Flops:  r.plan.cost[t],
+		}, true)
 	}
 }
 

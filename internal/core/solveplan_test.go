@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
 	"tlrchol/internal/tilemat"
 )
 
@@ -229,6 +230,63 @@ func TestSolvePlannedAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(10, solveOnce); allocs > 0 {
 		t.Fatalf("warm planned solve allocates %.1f times per run, want 0", allocs)
+	}
+
+	// A request trace without span detail (the tracing-disabled serving
+	// configuration) must not cost anything either: TraceFrom is an
+	// allocation-free context lookup and a detail-off trace is never
+	// attached to the run.
+	ctx := obs.ContextWithTrace(context.Background(), obs.NewReqTrace("t-0", "/v1/solve", 0))
+	tracedOnce := func() {
+		x.CopyFrom(rhs)
+		if err := p.SolveCtx(ctx, f, x, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracedOnce()
+	if allocs := testing.AllocsPerRun(10, tracedOnce); allocs > 0 {
+		t.Fatalf("warm planned solve with a detail-off trace allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSolvePlannedRequestSpans checks the request-scoped span hook: a
+// detailed trace in the context collects one span per executed task,
+// named by task type and annotated with the task id, rows, level and
+// flop weight.
+func TestSolvePlannedRequestSpans(t *testing.T) {
+	f, p := plannedFactor(t, 512, 64, true)
+	rng := rand.New(rand.NewSource(7))
+	rhs := dense.Random(rng, 512, 1)
+	rt := obs.NewReqTrace("t-spans", "/v1/solve", 4096)
+	ctx := obs.ContextWithTrace(context.Background(), rt)
+	if err := p.SolveCtx(ctx, f, rhs, 4); err != nil {
+		t.Fatal(err)
+	}
+	rt.Finish(200, "")
+	want := p.Tasks()
+	if rt.SpanCount() != want {
+		t.Fatalf("got %d spans for %d plan tasks (dropped %d)", rt.SpanCount(), want, rt.Dropped())
+	}
+	trsm, apply := 0, 0
+	for _, e := range rt.Events() {
+		switch e.Name {
+		case "solve.trsm":
+			trsm++
+		case "solve.apply":
+			apply++
+		default:
+			t.Fatalf("unexpected span %q", e.Name)
+		}
+		if !e.HasInfo || e.Info.Flops <= 0 {
+			t.Fatalf("span %q lacks task annotations: %+v", e.Name, e.Info)
+		}
+	}
+	// Both sweeps run one diagonal solve per tile row.
+	if trsm != 2*f.NT {
+		t.Fatalf("got %d trsm spans, want %d (2 sweeps × %d rows)", trsm, 2*f.NT, f.NT)
+	}
+	if apply != want-trsm {
+		t.Fatalf("got %d apply spans, want %d", apply, want-trsm)
 	}
 }
 

@@ -73,8 +73,14 @@ func WriteChromeTrace(w io.Writer, events []Event, meta map[string]any) error {
 		}
 	}
 	for _, e := range evs {
-		if e.Worker >= 0 {
+		switch {
+		case e.Worker >= 0:
 			addThread(int(e.Worker), fmt.Sprintf("worker %d", e.Worker))
+		case e.Kind != KindCounter:
+			// Spans and instants without a worker (request phases,
+			// background events) share one named track; counters render
+			// as counter tracks and need no thread metadata.
+			addThread(bg, "background")
 		}
 	}
 
@@ -101,9 +107,6 @@ func WriteChromeTrace(w io.Writer, events []Event, meta map[string]any) error {
 				Args: map[string]any{"value": e.Value},
 			})
 		case KindInstant:
-			if e.Worker < 0 {
-				addThread(bg, "background")
-			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
 				Name: e.Name, Ph: "i", Ts: usec(int64(e.Start)), Pid: 0, Tid: tid(e.Worker),
 				S: "t", Args: map[string]any{"value": e.Value},

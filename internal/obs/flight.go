@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// FlightRecorder is the tail-latency half of request tracing: a
+// bounded store of completed request traces designed around the
+// operational question "p99 spiked — show me a slow request". Three
+// retention policies run side by side:
+//
+//   - a ring of the most recent completed traces (short-horizon lookup
+//     for any trace id a client just received);
+//   - the slowest-N traces per endpoint (tail-based sampling: the
+//     requests worth explaining survive long after the recent ring has
+//     cycled past them; per-endpoint so multi-second factorizations
+//     cannot crowd out slow solves);
+//   - a ring of errored requests (every non-2xx/3xx, including 429
+//     rejections — failures are always worth a look).
+//
+// One trace may be retained by several policies; a reference count per
+// id keeps the lookup index exact without copying traces. All methods
+// are safe for concurrent use; Record takes one short mutex hold (a
+// few comparisons and slice moves — no blocking work under the lock).
+type FlightRecorder struct {
+	mu        sync.Mutex
+	slowN     int
+	recentCap int
+	errCap    int
+
+	recent     []*ReqTrace
+	recentNext int
+	errs       []*ReqTrace
+	errNext    int
+	// slow maps endpoint → traces sorted ascending by E2E (index 0 is
+	// the fastest retained, the first to be displaced).
+	slow map[string][]*ReqTrace
+
+	// byID is the lookup index; refs counts how many retention
+	// structures hold each id so eviction from one policy does not
+	// break lookup through another.
+	byID map[string]*ReqTrace
+	refs map[string]int
+
+	recorded uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the slowN slowest
+// traces per endpoint, the recentCap most recent, and the errCap most
+// recent errored ones (each ≤ 0 selects a default of 32 / 128 / 64).
+func NewFlightRecorder(slowN, recentCap, errCap int) *FlightRecorder {
+	if slowN <= 0 {
+		slowN = 32
+	}
+	if recentCap <= 0 {
+		recentCap = 128
+	}
+	if errCap <= 0 {
+		errCap = 64
+	}
+	return &FlightRecorder{
+		slowN:     slowN,
+		recentCap: recentCap,
+		errCap:    errCap,
+		slow:      map[string][]*ReqTrace{},
+		byID:      map[string]*ReqTrace{},
+		refs:      map[string]int{},
+	}
+}
+
+func (f *FlightRecorder) addRefLocked(rt *ReqTrace) {
+	f.refs[rt.ID]++
+	f.byID[rt.ID] = rt
+}
+
+func (f *FlightRecorder) dropRefLocked(rt *ReqTrace) {
+	if rt == nil {
+		return
+	}
+	f.refs[rt.ID]--
+	if f.refs[rt.ID] <= 0 {
+		delete(f.refs, rt.ID)
+		delete(f.byID, rt.ID)
+	}
+}
+
+// Record files a finished trace (Finish must have been called; the
+// trace is read-only from here on). Safe on a nil recorder or trace.
+func (f *FlightRecorder) Record(rt *ReqTrace) {
+	if f == nil || rt == nil || rt.ID == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recorded++
+
+	// Recent ring: every completed trace passes through.
+	if len(f.recent) < f.recentCap {
+		f.recent = append(f.recent, rt)
+	} else {
+		f.dropRefLocked(f.recent[f.recentNext])
+		f.recent[f.recentNext] = rt
+		f.recentNext = (f.recentNext + 1) % f.recentCap
+	}
+	f.addRefLocked(rt)
+
+	// Error ring: 4xx/5xx (including 429 rejections) always retained.
+	if rt.Status >= 400 || rt.Err != "" {
+		if len(f.errs) < f.errCap {
+			f.errs = append(f.errs, rt)
+		} else {
+			f.dropRefLocked(f.errs[f.errNext])
+			f.errs[f.errNext] = rt
+			f.errNext = (f.errNext + 1) % f.errCap
+		}
+		f.addRefLocked(rt)
+	}
+
+	// Tail sampler: keep if the endpoint's slow set is not full, or if
+	// this trace is slower than the fastest retained one.
+	s := f.slow[rt.Endpoint]
+	switch {
+	case len(s) < f.slowN:
+		s = append(s, rt)
+		f.addRefLocked(rt)
+	case rt.E2E > s[0].E2E:
+		f.dropRefLocked(s[0])
+		copy(s, s[1:])
+		s[len(s)-1] = rt
+		f.addRefLocked(rt)
+	default:
+		return
+	}
+	// Restore ascending E2E order: the new trace bubbles down from the
+	// end (slowN is small; one insertion pass).
+	for i := len(s) - 1; i > 0 && s[i].E2E < s[i-1].E2E; i-- {
+		s[i], s[i-1] = s[i-1], s[i]
+	}
+	f.slow[rt.Endpoint] = s
+}
+
+// Lookup returns the retained trace with the given id. The trace is
+// immutable; callers may export it concurrently.
+func (f *FlightRecorder) Lookup(id string) (*ReqTrace, bool) {
+	if f == nil {
+		return nil, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rt, ok := f.byID[id]
+	return rt, ok
+}
+
+// Slowest returns the retained slowest traces for an endpoint, slowest
+// first.
+func (f *FlightRecorder) Slowest(endpoint string) []*ReqTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.slow[endpoint]
+	out := make([]*ReqTrace, len(s))
+	for i, rt := range s {
+		out[len(s)-1-i] = rt
+	}
+	return out
+}
+
+// Errored returns the retained errored traces, most recent last.
+func (f *FlightRecorder) Errored() []*ReqTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*ReqTrace, 0, len(f.errs))
+	out = append(out, f.errs[f.errNext:]...)
+	out = append(out, f.errs[:f.errNext]...)
+	return out
+}
+
+// FlightStats is the /v1/stats view of the recorder.
+type FlightStats struct {
+	// Recorded counts every trace filed; Retained is the number
+	// currently addressable through /v1/trace/<id>.
+	Recorded uint64 `json:"recorded"`
+	Retained int    `json:"retained"`
+	// SlowestID/SlowestMS name the slowest retained trace across all
+	// endpoints — the first place to look when p99 moves.
+	SlowestID       string  `json:"slowest_trace_id,omitempty"`
+	SlowestEndpoint string  `json:"slowest_endpoint,omitempty"`
+	SlowestMS       float64 `json:"slowest_ms,omitempty"`
+}
+
+// Stats summarizes the recorder's occupancy.
+func (f *FlightRecorder) Stats() FlightStats {
+	if f == nil {
+		return FlightStats{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FlightStats{Recorded: f.recorded, Retained: len(f.byID)}
+	// Endpoints in sorted order so the reported slowest trace does not
+	// depend on map iteration when two endpoints tie.
+	eps := make([]string, 0, len(f.slow))
+	for ep := range f.slow {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	var best *ReqTrace
+	for _, ep := range eps {
+		s := f.slow[ep]
+		if len(s) == 0 {
+			continue
+		}
+		if top := s[len(s)-1]; best == nil || top.E2E > best.E2E {
+			best = top
+			st.SlowestEndpoint = ep
+		}
+	}
+	if best != nil {
+		st.SlowestID = best.ID
+		st.SlowestMS = float64(best.E2E) / 1e6
+	}
+	return st
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// finished fabricates a completed trace for recorder tests.
+func finished(id, endpoint string, e2e time.Duration, status int) *ReqTrace {
+	rt := NewReqTrace(id, endpoint, 0)
+	rt.Status = status
+	rt.E2E = e2e
+	return rt
+}
+
+// TestFlightRetention drives all three retention policies on a tiny
+// recorder: slow traces outlive the recent ring, errors are always
+// kept, and a fast clean trace evicted everywhere becomes 404.
+func TestFlightRetention(t *testing.T) {
+	f := NewFlightRecorder(2, 2, 2)
+
+	slow1 := finished("s1", "/v1/solve", 100*time.Millisecond, 200)
+	slow2 := finished("s2", "/v1/solve", 200*time.Millisecond, 200)
+	f.Record(slow1)
+	f.Record(slow2)
+
+	// Fast clean traces cycle the recent ring; none displaces the slow
+	// set (both are faster than its fastest member).
+	for i := 0; i < 4; i++ {
+		f.Record(finished(fmt.Sprintf("f%d", i), "/v1/solve", time.Millisecond, 200))
+	}
+	if _, ok := f.Lookup("s1"); !ok {
+		t.Fatal("slow trace s1 must survive the recent ring cycling")
+	}
+	if _, ok := f.Lookup("f0"); ok {
+		t.Fatal("fast trace f0 was evicted from recent and retained nowhere")
+	}
+	if _, ok := f.Lookup("f3"); !ok {
+		t.Fatal("f3 is still in the recent ring")
+	}
+
+	// A slower trace displaces the fastest retained slow one.
+	slow3 := finished("s3", "/v1/solve", 300*time.Millisecond, 200)
+	f.Record(slow3)
+	got := f.Slowest("/v1/solve")
+	if len(got) != 2 || got[0].ID != "s3" || got[1].ID != "s2" {
+		ids := make([]string, len(got))
+		for i, rt := range got {
+			ids[i] = rt.ID
+		}
+		t.Fatalf("slowest set %v, want [s3 s2]", ids)
+	}
+	// s1's recent-ring slot was recycled by the fast traces above, so
+	// losing its slow-set slot dropped its last reference.
+	if _, ok := f.Lookup("s1"); ok {
+		t.Fatal("s1 evicted from every policy must be gone")
+	}
+
+	// Errors (including 429s) are retained regardless of latency.
+	f.Record(finished("e1", "/v1/solve", time.Microsecond, 429))
+	for i := 0; i < 4; i++ {
+		f.Record(finished(fmt.Sprintf("h%d", i), "/v1/solve", time.Millisecond, 200))
+	}
+	if _, ok := f.Lookup("e1"); !ok {
+		t.Fatal("errored trace must survive recent-ring cycling")
+	}
+	errs := f.Errored()
+	if len(errs) != 1 || errs[0].ID != "e1" {
+		t.Fatalf("errored set has %d entries", len(errs))
+	}
+
+	// Per-endpoint slow sets: a slow factorize cannot displace solves.
+	f.Record(finished("fact1", "/v1/factorize", time.Minute, 200))
+	if got := f.Slowest("/v1/solve"); len(got) != 2 || got[0].ID != "s3" {
+		t.Fatal("factorize traffic must not displace the solve slow set")
+	}
+	st := f.Stats()
+	if st.SlowestID != "fact1" || st.SlowestEndpoint != "/v1/factorize" {
+		t.Fatalf("stats slowest %q@%q, want fact1@/v1/factorize", st.SlowestID, st.SlowestEndpoint)
+	}
+	if st.Recorded != 13 {
+		t.Fatalf("recorded %d, want 13", st.Recorded)
+	}
+}
+
+// TestFlightNilSafe: a nil recorder ignores everything.
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(finished("x", "/v1/solve", time.Millisecond, 200))
+	if _, ok := f.Lookup("x"); ok {
+		t.Fatal("nil recorder retains nothing")
+	}
+	if f.Slowest("/v1/solve") != nil || f.Errored() != nil {
+		t.Fatal("nil recorder lists nothing")
+	}
+	if st := f.Stats(); st.Recorded != 0 {
+		t.Fatal("nil recorder counts nothing")
+	}
+	f = NewFlightRecorder(1, 1, 1)
+	f.Record(nil)
+	f.Record(finished("", "/v1/solve", time.Millisecond, 200))
+	if st := f.Stats(); st.Recorded != 0 {
+		t.Fatal("nil and id-less traces must be ignored")
+	}
+}
+
+// TestFlightConcurrent hammers Record/Lookup/Stats from many
+// goroutines (run under -race by scripts/check.sh).
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8, 16, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				status := 200
+				if i%17 == 0 {
+					status = 429
+				}
+				f.Record(finished(id, "/v1/solve", time.Duration(i)*time.Microsecond, status))
+				f.Lookup(id)
+				if i%50 == 0 {
+					f.Stats()
+					f.Slowest("/v1/solve")
+					f.Errored()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := f.Stats()
+	if st.Recorded != 1600 {
+		t.Fatalf("recorded %d, want 1600", st.Recorded)
+	}
+	if st.Retained == 0 || st.SlowestID == "" {
+		t.Fatalf("stats after load: %+v", st)
+	}
+	// The slowest trace per worker (i=199) must all be retained.
+	for w := 0; w < 8; w++ {
+		if _, ok := f.Lookup(fmt.Sprintf("w%d-199", w)); !ok {
+			t.Fatalf("slowest trace of worker %d lost", w)
+		}
+	}
+}

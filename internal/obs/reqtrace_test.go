@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReqTraceNilSafe: every ReqTrace entry point must be callable on a
+// nil trace — instrumented code never branches on "is tracing on".
+func TestReqTraceNilSafe(t *testing.T) {
+	var rt *ReqTrace
+	rt.Span("x", 0, 0, time.Millisecond, SpanInfo{}, false)
+	rt.Phase("queue", 0, time.Millisecond)
+	rt.Tag("k", "v")
+	rt.Finish(200, "")
+	if rt.Detailed() || rt.Now() != 0 || rt.Offset(time.Now()) != 0 {
+		t.Fatal("nil trace must report zero values")
+	}
+	if rt.SpanCount() != 0 || rt.Dropped() != 0 || rt.PhaseDur("queue") != 0 || rt.TagVal("k") != "" {
+		t.Fatal("nil trace must report empty summaries")
+	}
+	if rt.Events() != nil {
+		t.Fatal("nil trace must have no events")
+	}
+
+	ctx := context.Background()
+	if ContextWithTrace(ctx, nil) != ctx {
+		t.Fatal("attaching a nil trace must return the context unchanged")
+	}
+	if TraceFrom(ctx) != nil {
+		t.Fatal("a plain context carries no trace")
+	}
+	if TraceFrom(nil) != nil {
+		t.Fatal("TraceFrom must tolerate a nil context")
+	}
+}
+
+// TestReqTraceContext: round-trip through a context.
+func TestReqTraceContext(t *testing.T) {
+	rt := NewReqTrace("abc-000001", "/v1/solve", 16)
+	ctx := ContextWithTrace(context.Background(), rt)
+	if got := TraceFrom(ctx); got != rt {
+		t.Fatalf("TraceFrom returned %v, want the attached trace", got)
+	}
+	if !rt.Detailed() {
+		t.Fatal("spanCap > 0 must enable span detail")
+	}
+	if NewReqTrace("x", "/v1/solve", 0).Detailed() {
+		t.Fatal("spanCap <= 0 must disable span detail")
+	}
+}
+
+// TestReqTraceConcurrentSpans hammers the span ring from many
+// goroutines (run under -race by scripts/check.sh): the atomic slot
+// claim must retain exactly capacity spans and count the overflow.
+func TestReqTraceConcurrentSpans(t *testing.T) {
+	const cap, writers, perWriter = 64, 8, 100
+	rt := NewReqTrace("abc-000002", "/v1/solve", cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rt.Span("solve.apply", int32(w), rt.Now(), time.Microsecond, SpanInfo{K: int32(i)}, true)
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Finish(200, "")
+	if rt.SpanCount() != cap {
+		t.Fatalf("span count %d, want ring capacity %d", rt.SpanCount(), cap)
+	}
+	if want := int64(writers*perWriter - cap); rt.Dropped() != want {
+		t.Fatalf("dropped %d, want %d", rt.Dropped(), want)
+	}
+}
+
+// TestReqTraceEventsChrome: the merged event stream (spans + phases)
+// must export as a valid Chrome trace, with phases on a named
+// background track.
+func TestReqTraceEventsChrome(t *testing.T) {
+	rt := NewReqTrace("abc-000003", "/v1/solve", 16)
+	rt.Span("solve.trsm", 0, 2*time.Millisecond, time.Millisecond, SpanInfo{K: 1, Flops: 100}, true)
+	rt.Span("solve.apply", 1, 3*time.Millisecond, time.Millisecond, SpanInfo{K: 2, Flops: 200}, true)
+	rt.Phase("queue", 0, time.Millisecond)
+	rt.Phase("subst", 2*time.Millisecond, 2*time.Millisecond)
+	rt.Tag("cache", "hit")
+	rt.Finish(200, "")
+
+	evs := rt.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 2 spans + 2 phases", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("events not time-ordered at %d", i)
+		}
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"solve.trsm", "solve.apply", "phase.queue", "phase.subst"} {
+		if !names[want] {
+			t.Fatalf("missing event %q in %v", want, names)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs, map[string]any{"trace_id": rt.ID}); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace invalid: %v\n%s", err, buf.String())
+	}
+	if tc.Spans != 4 {
+		t.Fatalf("exported %d spans, want 4", tc.Spans)
+	}
+	// Two worker tracks plus the background track for the phases.
+	if tc.Workers != 3 {
+		t.Fatalf("exported %d tracks, want 3", tc.Workers)
+	}
+}
+
+// TestReqTraceSummary covers the handler-side bookkeeping: phases
+// accumulate by name, tags resolve last-write-wins, Finish seals
+// status and E2E.
+func TestReqTraceSummary(t *testing.T) {
+	rt := NewReqTrace("abc-000004", "/v1/solve", 0)
+	rt.Phase("subst", 0, 2*time.Millisecond)
+	rt.Phase("subst", 5*time.Millisecond, 3*time.Millisecond)
+	rt.Phase("neg", 0, -time.Millisecond) // clamped
+	if got := rt.PhaseDur("subst"); got != 5*time.Millisecond {
+		t.Fatalf("subst phase %v, want 5ms accumulated", got)
+	}
+	if got := rt.PhaseDur("neg"); got != 0 {
+		t.Fatalf("negative phase duration must clamp to 0, got %v", got)
+	}
+	rt.Tag("cache", "miss")
+	rt.Tag("cache", "hit")
+	if rt.TagVal("cache") != "hit" {
+		t.Fatal("TagVal must return the last value")
+	}
+	rt.Finish(429, "Too Many Requests")
+	if rt.Status != 429 || rt.Err != "Too Many Requests" || rt.E2E <= 0 {
+		t.Fatalf("Finish did not seal the summary: %+v", rt)
+	}
+}

@@ -31,6 +31,11 @@ type solveJob struct {
 	cols  *dense.Matrix // n×k right-hand sides, solved in place
 	done  chan solveOutcome
 	start time.Time
+	// rt is the submitting request's trace (nil when tracing is off).
+	// The batch leader's trace receives the execution spans; followers
+	// learn the leader's id through the outcome so the shared detail
+	// stays findable from any member of the batch.
+	rt *obs.ReqTrace
 }
 
 type solveOutcome struct {
@@ -43,7 +48,11 @@ type solveOutcome struct {
 	// itself — no batch assembly, no residual evaluation — the number
 	// the solve-plan work targets and /v1/stats reports percentiles of.
 	subst time.Duration
-	err   error
+	// leader is the trace id of the batch leader, whose trace carries
+	// the per-task execution spans for the whole batch ("" when tracing
+	// is off).
+	leader string
+	err    error
 }
 
 // pendingBatch collects jobs for one key during its window.
@@ -104,7 +113,7 @@ func NewBatcher(window time.Duration, maxCols int, timeout time.Duration, worker
 // other members; the abandoned result is discarded.
 func (b *Batcher) Solve(ctx context.Context, f *Factor, p SolveParams, cols *dense.Matrix) solveOutcome {
 	key := batchKey{fp: f.FP, p: p}
-	job := &solveJob{cols: cols, done: make(chan solveOutcome, 1), start: time.Now()}
+	job := &solveJob{cols: cols, done: make(chan solveOutcome, 1), start: time.Now(), rt: obs.TraceFrom(ctx)}
 
 	b.mu.Lock()
 	if pb, ok := b.pending[key]; ok && pb.cols+cols.Cols <= b.maxCols {
@@ -159,6 +168,15 @@ func (b *Batcher) execute(f *Factor, p SolveParams, jobs []*solveJob) {
 	ctx, cancel := context.WithTimeout(context.Background(), b.timeout)
 	defer cancel()
 
+	// The batch leader's trace adopts the execution: per-task solve-plan
+	// spans recorded by the workers land in its ring (the detached ctx
+	// carries it down), and the coalescing window becomes a span so the
+	// cost of waiting for company is visible next to the solve itself.
+	lrt := jobs[0].rt
+	ctx = obs.ContextWithTrace(ctx, lrt)
+	execStart := lrt.Now()
+	lrt.Span("batch.window", -1, lrt.Offset(jobs[0].start), execStart-lrt.Offset(jobs[0].start), obs.SpanInfo{}, false)
+
 	n := f.L.N
 	total := 0
 	for _, j := range jobs {
@@ -188,15 +206,15 @@ func (b *Batcher) execute(f *Factor, p SolveParams, jobs []*solveJob) {
 	)
 	if p.Refine {
 		// Refinement interleaves substitutions with operator applies;
-		// the whole loop is the substitution-side cost.
+		// RefineResult.SubstTime isolates the pure substitution share so
+		// the latency breakdown separates subst from refine overhead.
 		var res core.RefineResult
-		substStart := time.Now()
 		if f.Plan != nil {
 			res, err = f.Plan.RefineCtx(ctx, f.L, core.TLROperator{M: f.Op}, wide, p.MaxIter, p.Target, b.workers)
 		} else {
 			res, err = core.RefineCtx(ctx, f.L, core.TLROperator{M: f.Op}, wide, p.MaxIter, p.Target)
 		}
-		subst = time.Since(substStart)
+		subst = res.SubstTime
 		if err == nil {
 			residuals, iterations = res.ColResiduals, res.ColIterations
 		}
@@ -217,11 +235,16 @@ func (b *Batcher) execute(f *Factor, p SolveParams, jobs []*solveJob) {
 		err = fmt.Errorf("batched solve (%d columns): %w", total, err)
 	}
 	solved := time.Since(waited)
+	lrt.Span("batch.exec", -1, execStart, lrt.Now()-execStart, obs.SpanInfo{N: int32(total)}, true)
+	leader := ""
+	if lrt != nil {
+		leader = lrt.ID
+	}
 
 	at = 0
 	for _, j := range jobs {
 		k := j.cols.Cols
-		out := solveOutcome{batchCols: total, waited: waited.Sub(j.start), solved: solved, subst: subst, err: err}
+		out := solveOutcome{batchCols: total, waited: waited.Sub(j.start), solved: solved, subst: subst, leader: leader, err: err}
 		if err == nil {
 			for c := 0; c < k; c++ {
 				for r := 0; r < n; r++ {

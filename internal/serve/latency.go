@@ -50,6 +50,80 @@ type SolveLatencyStats struct {
 	P99MS float64 `json:"p99_ms"`
 }
 
+// breakdownRing keeps the most recent end-to-end request breakdowns.
+// Where latencyRing answers "how fast are substitutions", this ring
+// answers "how fast are requests, and where does the time go": each
+// retained sample is a full BreakdownMS, so a percentile report can
+// show the decomposition of an actual request at that rank rather
+// than averaging components across requests (averages of phases do
+// not sum to percentiles of totals).
+type breakdownRing struct {
+	mu    sync.Mutex
+	buf   []BreakdownMS
+	next  int
+	count uint64
+}
+
+// newBreakdownRing returns a ring over the last size samples (≤ 0
+// means 1024).
+func newBreakdownRing(size int) *breakdownRing {
+	if size <= 0 {
+		size = 1024
+	}
+	return &breakdownRing{buf: make([]BreakdownMS, 0, size)}
+}
+
+// Record adds one completed request's breakdown.
+func (l *breakdownRing) Record(bd BreakdownMS) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, bd)
+	} else {
+		l.buf[l.next] = bd
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.count++
+	l.mu.Unlock()
+}
+
+// RequestLatencyStats is the /v1/stats view of recent end-to-end
+// request latency. Each percentile row is the breakdown of the actual
+// request at that rank (carrying its trace id, so a spiking p99 leads
+// straight to /v1/trace/<id>), not an aggregate of components.
+type RequestLatencyStats struct {
+	Count uint64      `json:"count"`
+	P50   BreakdownMS `json:"p50"`
+	P95   BreakdownMS `json:"p95"`
+	P99   BreakdownMS `json:"p99"`
+}
+
+// Stats computes nearest-rank percentiles over the current window.
+func (l *breakdownRing) Stats() RequestLatencyStats {
+	l.mu.Lock()
+	sorted := append([]BreakdownMS(nil), l.buf...)
+	count := l.count
+	l.mu.Unlock()
+	out := RequestLatencyStats{Count: count}
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].E2EMS < sorted[j].E2EMS })
+	rank := func(p float64) BreakdownMS {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	out.P50 = rank(0.50)
+	out.P95 = rank(0.95)
+	out.P99 = rank(0.99)
+	return out
+}
+
 // Stats computes nearest-rank percentiles over the current window.
 func (l *latencyRing) Stats() SolveLatencyStats {
 	l.mu.Lock()

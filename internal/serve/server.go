@@ -15,6 +15,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -56,6 +57,23 @@ type Config struct {
 	SolveWorkers int
 	// Metrics selects the registry (nil = obs.Default).
 	Metrics *obs.Registry
+	// DisableTracing turns off per-request span detail. Requests still
+	// get trace ids and the always-on latency breakdown; what goes away
+	// is the span ring (and with it the per-task solve-plan spans), so
+	// the warm solve path runs with zero tracing work.
+	DisableTracing bool
+	// TraceSpanCap sizes each detailed request's span ring (default
+	// 4096; overflow is counted, not recorded).
+	TraceSpanCap int
+	// FlightSlow / FlightRecent / FlightErrors size the flight
+	// recorder's retention policies (0 = defaults 32 / 128 / 64).
+	FlightSlow   int
+	FlightRecent int
+	FlightErrors int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request. Lines are written whole under a server mutex,
+	// so any io.Writer is safe.
+	AccessLog io.Writer
 }
 
 func (c *Config) defaults() {
@@ -83,6 +101,9 @@ func (c *Config) defaults() {
 	if c.Metrics == nil {
 		c.Metrics = obs.Default
 	}
+	if c.TraceSpanCap <= 0 {
+		c.TraceSpanCap = 4096
+	}
 }
 
 // Server is the HTTP solve service. Create with New, mount Handler
@@ -100,8 +121,16 @@ type Server struct {
 	factorRuns, factorReqs, solveReqs, httpErrors *obs.Counter
 	factorLatency, solveLatency, substLatency     *obs.Histogram
 	// solveOnly tracks recent substitution-only latencies for the
-	// /v1/stats percentile report.
-	solveOnly *latencyRing
+	// /v1/stats percentile report; reqLatency tracks full end-to-end
+	// request breakdowns so queueing and batching delay are visible.
+	solveOnly  *latencyRing
+	reqLatency *breakdownRing
+
+	// Request tracing: ids mints trace ids, flight retains the traces
+	// worth explaining, accessMu serializes access-log lines.
+	ids      *traceIDs
+	flight   *obs.FlightRecorder
+	accessMu sync.Mutex
 
 	statsMu  sync.Mutex
 	lastSnap obs.MetricsSnapshot
@@ -127,10 +156,14 @@ func New(cfg Config) *Server {
 		solveLatency:  reg.Histogram("serve.solve.latency_ms", 1, 5, 10, 50, 100, 1000, 10000),
 		substLatency:  reg.Histogram("serve.solve.subst_ms", 1, 5, 10, 50, 100, 1000, 10000),
 		solveOnly:     newLatencyRing(0),
+		reqLatency:    newBreakdownRing(0),
+		ids:           newTraceIDs(),
+		flight:        obs.NewFlightRecorder(cfg.FlightSlow, cfg.FlightRecent, cfg.FlightErrors),
 	}
-	s.mux.HandleFunc("POST /v1/factorize", s.handleFactorize)
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/factorize", s.traced("/v1/factorize", true, s.handleFactorize))
+	s.mux.HandleFunc("POST /v1/solve", s.traced("/v1/solve", true, s.handleSolve))
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/stats", s.traced("/v1/stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
@@ -190,6 +223,7 @@ type FactorizeResponse struct {
 }
 
 func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
+	rt := obs.TraceFrom(r.Context())
 	s.factorReqs.Add(0, 1)
 	if !s.adm.TryAcquire() {
 		s.reject(w)
@@ -200,11 +234,16 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	rt.Phase("queue", 0, rt.Now())
+	resolveStart := rt.Now()
 	f, cached, err := s.resolveFactor(r.Context(), req.Problem)
+	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
 	if err != nil {
 		s.failFactor(w, err)
 		return
 	}
+	rt.Tag("fp", fpPrefix(f.FP))
+	rt.Tag("cache", hitMiss(cached))
 	s.writeJSON(w, http.StatusOK, FactorizeResponse{
 		Fingerprint: f.FP,
 		Cached:      cached,
@@ -213,6 +252,22 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 		Bytes:       f.SizeBytes,
 		Stats:       f.FactorStats,
 	})
+}
+
+// fpPrefix shortens a fingerprint for tags and log lines: enough to
+// correlate, short enough to scan.
+func fpPrefix(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+func hitMiss(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
 }
 
 // failFactor maps resolution errors onto HTTP codes.
@@ -233,8 +288,12 @@ func (s *Server) resolveFactor(ctx context.Context, sp ProblemSpec) (*Factor, bo
 	}
 	pts := sp.points()
 	fp := Fingerprint(sp, pts)
+	// The requester that wins the single-flight donates its trace to
+	// the build: its /v1/trace shows compress/factorize/plan spans.
+	// Waiters see the build only as their "factor" phase duration.
+	rt := obs.TraceFrom(ctx)
 	return s.cache.Get(ctx, fp, func() (*Factor, error) {
-		return s.buildFactor(sp, pts, fp)
+		return s.buildFactor(rt, sp, pts, fp)
 	})
 }
 
@@ -242,18 +301,23 @@ func (s *Server) resolveFactor(ctx context.Context, sp ProblemSpec) (*Factor, bo
 // runs under the server's factorization budget, detached from any one
 // request context: a single-flight build may be serving many waiters,
 // so the first requester hanging up must not kill it for the rest.
-func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Factor, error) {
+func (s *Server) buildFactor(rt *obs.ReqTrace, sp ProblemSpec, pts []rbf.Point, fp string) (*Factor, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FactorizeTimeout)
 	defer cancel()
+	// The build runs detached from the request's cancellation but keeps
+	// its trace: core.Factorize records analyze/run spans against it.
+	ctx = obs.ContextWithTrace(ctx, rt)
 	s.factorRuns.Add(0, 1)
 	start := time.Now()
 
+	compressStart := rt.Now()
 	prob, _ := sp.problem(pts)
 	m, _, err := tilemat.FromAssemblerParallel(sp.N, sp.Tile, prob.Block, sp.Tol, sp.MaxRank, s.cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("compression failed: %w", err)
 	}
 	compress := time.Since(start)
+	rt.Span("factor.compress", -1, compressStart, rt.Now()-compressStart, obs.SpanInfo{}, false)
 	op := m.Clone()
 
 	rep, err := core.Factorize(m, core.Options{
@@ -271,8 +335,10 @@ func (s *Server) buildFactor(sp ProblemSpec, pts []rbf.Point, fp string) (*Facto
 	// the single-flight: every solve against this entry reuses it, and
 	// its bytes ride the same cache budget (evicted together).
 	planStart := time.Now()
+	planSpanStart := rt.Now()
 	plan := core.BuildSolvePlan(m)
 	planBuild := time.Since(planStart)
+	rt.Span("factor.plan", -1, planSpanStart, rt.Now()-planSpanStart, obs.SpanInfo{}, false)
 	fwdLevels, _ := plan.Levels()
 
 	elapsed := time.Since(start)
@@ -334,10 +400,17 @@ type SolveResponse struct {
 	Residuals  []float64   `json:"residuals"`
 	Iterations []int       `json:"iterations,omitempty"`
 	Solution   [][]float64 `json:"solution,omitempty"`
+	// TraceID names this request's trace (also in the X-Trace-Id
+	// header); LeaderTrace names the batch leader's trace, which holds
+	// the per-task execution spans when this request rode a shared
+	// batch (equal to TraceID when this request led).
+	TraceID     string `json:"trace_id,omitempty"`
+	LeaderTrace string `json:"leader_trace,omitempty"`
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	reqStart := time.Now()
+	rt := obs.TraceFrom(r.Context())
 	s.solveReqs.Add(0, 1)
 	if !s.adm.TryAcquire() {
 		s.reject(w)
@@ -381,6 +454,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Queue covers everything up to factor resolution: admission,
+	// decode, validation, RHS materialization.
+	rt.Phase("queue", 0, rt.Now())
+	resolveStart := rt.Now()
 	if f == nil {
 		f, cached, err = s.resolveFactor(r.Context(), *req.Problem)
 		if err != nil {
@@ -388,6 +465,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
+	rt.Tag("fp", fpPrefix(f.FP))
+	rt.Tag("cache", hitMiss(cached))
 	p := SolveParams{Refine: req.Refine, MaxIter: req.MaxIter, Target: req.Target}
 	if p.Refine {
 		if p.MaxIter <= 0 {
@@ -402,6 +482,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
 	defer cancel()
+	submitAt := rt.Now()
 	out := s.batcher.Solve(ctx, f, p, cols)
 	if out.err != nil {
 		code := http.StatusInternalServerError
@@ -416,6 +497,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.substLatency.Observe(0, substMS)
 	s.solveOnly.Record(substMS)
 
+	// Breakdown phases partition submit→completion: the batch wait, the
+	// pure substitution, and the rest of the solve (residual check in
+	// direct mode, operator applies and convergence logic under
+	// refinement). Together with queue and factor above they account
+	// for the request's full timeline.
+	rt.Phase("batch_wait", submitAt, out.waited)
+	rt.Phase("subst", submitAt+out.waited, out.subst)
+	solveRest := out.solved - out.subst
+	if req.Refine {
+		rt.Phase("refine", submitAt+out.waited+out.subst, solveRest)
+	} else {
+		rt.Phase("resid", submitAt+out.waited+out.subst, solveRest)
+	}
+	rt.Tag("batch", strconv.Itoa(out.batchCols))
+
 	resp := SolveResponse{
 		Fingerprint: f.FP,
 		Cached:      cached,
@@ -426,6 +522,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		SubstMS:     substMS,
 		Residuals:   out.residuals,
 		Iterations:  out.iterations,
+		LeaderTrace: out.leader,
+	}
+	if rt != nil {
+		resp.TraceID = rt.ID
 	}
 	if req.ReturnSolution {
 		resp.Solution = make([][]float64, cols.Cols)
@@ -479,8 +579,15 @@ type StatsResponse struct {
 	Cache     CacheStats        `json:"cache"`
 	Admission AdmissionStats    `json:"admission"`
 	SolveOnly SolveLatencyStats `json:"solve_only"`
-	Totals    map[string]uint64 `json:"totals"`
-	Window    map[string]uint64 `json:"window"`
+	// Request covers end-to-end /v1/solve latency (queueing, batching
+	// and response overhead included) with a per-percentile breakdown;
+	// SolveOnly above remains the substitution-only series.
+	Request RequestLatencyStats `json:"request"`
+	// Flight summarizes the trace recorder: how many traces are
+	// retained and which retained request was slowest.
+	Flight obs.FlightStats   `json:"flight"`
+	Totals map[string]uint64 `json:"totals"`
+	Window map[string]uint64 `json:"window"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +609,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:     s.cache.Stats(),
 		Admission: s.adm.Stats(),
 		SolveOnly: s.solveOnly.Stats(),
+		Request:   s.reqLatency.Stats(),
+		Flight:    s.flight.Stats(),
 		Totals:    counterMap(snap),
 		Window:    counterMap(delta),
 	})

@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlrchol/internal/obs"
+)
+
+// getTrace fetches /v1/trace/<id> and returns status + body.
+func getTrace(t *testing.T, baseURL, id string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestServerRequestTracing is the acceptance scenario of the tracing
+// subsystem: a slow request must be fully explainable offline. A solve
+// that triggers a factorization gets a trace id; fetching that trace
+// returns a valid Chrome trace carrying factorization spans, batcher
+// spans and per-task solve-plan spans; /v1/stats reports an end-to-end
+// latency breakdown whose components sum to the measured E2E.
+func TestServerRequestTracing(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = -1  // deterministic: every request solves alone
+		c.SolveWorkers = 4  // force the planned parallel path (task spans)
+		c.TraceSpanCap = 64 // small ring: overflow must be counted, not fatal
+	})
+	spec := ProblemSpec{N: 512, Tile: 64, Tol: 1e-7}
+
+	// Request 1: cache miss — the solve pays for the factorization and
+	// its trace must show it.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID == "" {
+		t.Fatal("solve response must carry a trace id")
+	}
+	if hdr := resp.Header.Get("X-Trace-Id"); hdr != sr.TraceID {
+		t.Fatalf("X-Trace-Id header %q != body trace id %q", hdr, sr.TraceID)
+	}
+	if sr.LeaderTrace != sr.TraceID {
+		t.Fatalf("a lone request leads its own batch: leader %q, trace %q", sr.LeaderTrace, sr.TraceID)
+	}
+
+	// A few warm solves so the stats ring has samples.
+	const warm = 4
+	for i := 0; i < warm; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1, RHSSeed: int64(i + 2)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm solve %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// The miss request's trace: valid Chrome JSON with spans from every
+	// layer the request crossed.
+	code, trace := getTrace(t, ts.URL, sr.TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch: status %d: %s", code, trace)
+	}
+	tc, err := obs.ValidateChromeTrace(trace)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if tc.Spans == 0 {
+		t.Fatal("trace has no spans")
+	}
+	text := string(trace)
+	for _, want := range []string{
+		"factor.compress", "factor.run", "factor.plan", // build layers
+		"batch.exec",                // batcher
+		"solve.trsm", "solve.apply", // per-task solve-plan spans
+		"phase.queue", "phase.factor", "phase.subst", // breakdown phases
+	} {
+		if !strings.Contains(text, `"`+want+`"`) {
+			t.Fatalf("trace lacks %q spans", want)
+		}
+	}
+
+	// Stats: the end-to-end series exists alongside the solve-only one,
+	// and the per-percentile breakdowns identify real requests whose
+	// components sum to their E2E (other absorbs the remainder, so the
+	// equality is structural; the tolerance covers float rounding).
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Request.Count != warm+1 {
+		t.Fatalf("request latency count %d, want %d", st.Request.Count, warm+1)
+	}
+	for _, bd := range []BreakdownMS{st.Request.P50, st.Request.P95, st.Request.P99} {
+		if bd.TraceID == "" {
+			t.Fatalf("percentile row lacks a trace id: %+v", bd)
+		}
+		sum := bd.QueueMS + bd.FactorMS + bd.BatchWaitMS + bd.SubstMS + bd.RefineMS + bd.ResidMS + bd.OtherMS
+		if math.Abs(sum-bd.E2EMS) > 1e-6*math.Max(1, bd.E2EMS) {
+			t.Fatalf("breakdown components sum to %g, e2e is %g: %+v", sum, bd.E2EMS, bd)
+		}
+	}
+	// The p99 row is the slowest retained sample — here the factorizing
+	// request, whose factor share dominates.
+	if st.Request.P99.TraceID != sr.TraceID {
+		t.Fatalf("p99 trace %q, want the factorizing request %q", st.Request.P99.TraceID, sr.TraceID)
+	}
+	if st.Request.P99.FactorMS <= 0 {
+		t.Fatalf("the factorizing request must show factor time: %+v", st.Request.P99)
+	}
+	if st.Flight.Retained == 0 || st.Flight.SlowestID == "" {
+		t.Fatalf("flight stats: %+v", st.Flight)
+	}
+
+	// The stats percentile rows stay fetchable as traces.
+	if code, _ := getTrace(t, ts.URL, st.Request.P99.TraceID); code != http.StatusOK {
+		t.Fatalf("p99 trace not retained: status %d", code)
+	}
+
+	// Unknown ids 404.
+	if code, _ := getTrace(t, ts.URL, "no-such-trace"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", code)
+	}
+	_ = s
+}
+
+// TestServerTracingDisabled: with DisableTracing the service still
+// mints trace ids and records the breakdown (phases only), and the
+// exported trace is valid — it just has no span detail.
+func TestServerTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = -1
+		c.SolveWorkers = 4
+		c.DisableTracing = true
+	})
+	spec := ProblemSpec{N: 256, Tile: 64, Tol: 1e-7}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID == "" {
+		t.Fatal("trace ids are minted even with tracing disabled")
+	}
+	code, trace := getTrace(t, ts.URL, sr.TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch: status %d", code)
+	}
+	if _, err := obs.ValidateChromeTrace(trace); err != nil {
+		t.Fatalf("phase-only trace invalid: %v", err)
+	}
+	if strings.Contains(string(trace), `"solve.trsm"`) {
+		t.Fatal("span detail must be off when tracing is disabled")
+	}
+	if !strings.Contains(string(trace), `"phase.subst"`) {
+		t.Fatal("the breakdown phases are always on")
+	}
+}
+
+// TestServerTrace429Retained: a rejected request's trace lands in the
+// error ring and is addressable by the id the client received.
+func TestServerTrace429Retained(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.MaxInflight = 1
+		c.BatchWindow = 400 * time.Millisecond
+	})
+	spec := ProblemSpec{N: 192, Tile: 64, Tol: 1e-7}
+	if resp, body := postJSON(t, ts.URL+"/v1/factorize", FactorizeRequest{Problem: spec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime factorize: %d: %s", resp.StatusCode, body)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	}()
+	time.Sleep(100 * time.Millisecond) // the held request is inside its batch window
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("429 responses must carry a trace id")
+	}
+	wg.Wait()
+
+	code, trace := getTrace(t, ts.URL, id)
+	if code != http.StatusOK {
+		t.Fatalf("429 trace must be retained, got status %d", code)
+	}
+	if !strings.Contains(string(trace), "Too Many Requests") {
+		t.Fatalf("429 trace should record the error text: %s", trace)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink for the access-log test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServerAccessLog: one structured JSON line per request with the
+// trace id and the ms breakdown.
+func TestServerAccessLog(t *testing.T) {
+	var log syncBuffer
+	_, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = -1
+		c.AccessLog = &log
+	})
+	spec := ProblemSpec{N: 256, Tile: 64, Tol: 1e-7}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log line is written after the response is flushed; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for time.Now().Before(deadline) {
+		if s := log.String(); strings.Contains(s, sr.TraceID) {
+			for _, l := range strings.Split(s, "\n") {
+				if strings.Contains(l, sr.TraceID) {
+					line = l
+					break
+				}
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatalf("no access-log line for trace %s; log: %q", sr.TraceID, log.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access-log line is not JSON: %v: %q", err, line)
+	}
+	if rec["endpoint"] != "/v1/solve" || rec["status"] != float64(200) {
+		t.Fatalf("access-log record: %v", rec)
+	}
+	if rec["cache"] != "miss" {
+		t.Fatalf("first solve must log a cache miss: %v", rec)
+	}
+	if rec["fp"] == "" || rec["batch"] != "1" {
+		t.Fatalf("access-log tags: %v", rec)
+	}
+	for _, k := range []string{"e2e_ms", "queue_ms", "factor_ms", "batch_wait_ms", "subst_ms", "other_ms"} {
+		if _, ok := rec[k]; !ok {
+			t.Fatalf("access-log lacks %q: %v", k, rec)
+		}
+	}
+
+	// Every line in the log parses as JSON (the stats scrape the test
+	// server may not have issued doesn't matter; lines are whole).
+	sc := bufio.NewScanner(strings.NewReader(log.String()))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved/corrupt log line: %q", sc.Text())
+		}
+	}
+}
+
+// TestServerBatchLeaderTrace: followers of a shared batch learn the
+// leader's trace id, and the leader's trace carries the per-task spans
+// for the whole batch.
+func TestServerBatchLeaderTrace(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.BatchWindow = 150 * time.Millisecond
+		c.SolveWorkers = 4
+	})
+	spec := ProblemSpec{N: 512, Tile: 64, Tol: 1e-7}
+	if resp, body := postJSON(t, ts.URL+"/v1/factorize", FactorizeRequest{Problem: spec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime factorize: %d: %s", resp.StatusCode, body)
+	}
+
+	const k = 4
+	var wg sync.WaitGroup
+	responses := make([]SolveResponse, k)
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1, RHSSeed: int64(i + 1)})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("solve %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			json.Unmarshal(body, &responses[i])
+		}()
+	}
+	wg.Wait()
+
+	batched := -1
+	for i, r := range responses {
+		if r.BatchCols > 1 {
+			batched = i
+			break
+		}
+	}
+	if batched < 0 {
+		t.Skip("no batch formed (scheduling); coalescing is covered by TestServerKeystone")
+	}
+	leader := responses[batched].LeaderTrace
+	if leader == "" {
+		t.Fatal("batched response must name the leader trace")
+	}
+	code, trace := getTrace(t, ts.URL, leader)
+	if code != http.StatusOK {
+		t.Fatalf("leader trace fetch: status %d", code)
+	}
+	if _, err := obs.ValidateChromeTrace(trace); err != nil {
+		t.Fatalf("leader trace invalid: %v", err)
+	}
+	for _, want := range []string{"batch.window", "batch.exec", "solve.trsm"} {
+		if !strings.Contains(string(trace), `"`+want+`"`) {
+			t.Fatalf("leader trace lacks %q", want)
+		}
+	}
+	// Every member of that batch points at the same leader.
+	for i, r := range responses {
+		if r.BatchCols == responses[batched].BatchCols && r.LeaderTrace != leader && r.BatchCols > 1 {
+			t.Fatalf("response %d names leader %q, batch leader is %q", i, r.LeaderTrace, leader)
+		}
+	}
+}

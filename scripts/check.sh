@@ -108,6 +108,49 @@ wait "$serve_pid" || { echo "check.sh: tlrserve exited non-zero on SIGTERM" >&2;
 grep -q 'drained cleanly' "$serve_log" || {
     echo "check.sh: tlrserve did not drain cleanly" >&2; cat "$serve_log" >&2; exit 1; }
 
+echo "== request tracing gate"
+# A traced tlrserve must hand every request a trace id, retain the
+# trace in the flight recorder, export it as a valid Chrome trace with
+# per-task solve-plan spans, report the latency breakdown in
+# /v1/stats, and log one structured JSON line per request. The loadgen
+# tail report must name its slowest request's trace.
+access_log="$(mktemp /tmp/tlrserve-access.XXXXXX.log)"
+trace_json="$(mktemp /tmp/tlrserve-trace.XXXXXX.json)"
+trap 'rm -f "$lint_json" "$obs_trace" "$serve_log" "$access_log" "$trace_json" /tmp/tlrserve-check; kill "$serve_pid" 2>/dev/null || true' EXIT
+: > "$serve_log"
+/tmp/tlrserve-check -addr 127.0.0.1:0 -batch-window 50ms -solve-workers 4 -access-log "$access_log" > "$serve_log" 2>&1 &
+serve_pid=$!
+base=""
+for _ in $(seq 50); do
+    base="$(sed -n 's|^tlrserve listening on \(http://[0-9.:]*\).*|\1|p' "$serve_log")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "check.sh: traced tlrserve did not start"; cat "$serve_log" >&2; exit 1; }
+trace_id="$(curl -sf -D - -o /dev/null -X POST -d "${solve_req/SEED/99}" "$base/v1/solve" \
+    | tr -d '\r' | awk 'tolower($1) == "x-trace-id:" {print $2}')"
+[ -n "$trace_id" ] || { echo "check.sh: solve response carried no X-Trace-Id" >&2; exit 1; }
+curl -sf "$base/v1/trace/$trace_id" > "$trace_json" || {
+    echo "check.sh: /v1/trace/$trace_id not retrievable" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_json" || {
+    echo "check.sh: request trace has no traceEvents" >&2; cat "$trace_json" >&2; exit 1; }
+grep -q '"solve.trsm"' "$trace_json" || {
+    echo "check.sh: request trace lacks per-task solve-plan spans" >&2; exit 1; }
+curl -sf "$base/v1/stats" | grep -q '"queue_ms"' || {
+    echo "check.sh: /v1/stats lacks the latency breakdown" >&2; exit 1; }
+grep -q "$trace_id" "$access_log" || {
+    echo "check.sh: access log has no line for trace $trace_id" >&2; cat "$access_log" >&2; exit 1; }
+grep -q '"factor_ms"' "$access_log" || {
+    echo "check.sh: access log lines lack the ms breakdown" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "check.sh: traced tlrserve exited non-zero on SIGTERM" >&2; exit 1; }
+/tmp/tlrserve-check -loadgen -n 512 -tile 64 -duration 2s -rate 30 -solve-workers 4 > "$serve_log" 2>&1 || {
+    echo "check.sh: loadgen run failed" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q 'slowest request: trace ' "$serve_log" || {
+    echo "check.sh: loadgen did not name its slowest request's trace" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q 'valid Chrome/Perfetto trace' "$serve_log" || {
+    echo "check.sh: loadgen did not validate the slowest trace" >&2; cat "$serve_log" >&2; exit 1; }
+
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
 
