@@ -2,9 +2,13 @@
 // that factorizes kernel operators on demand, caches the factors by
 // problem fingerprint, coalesces concurrent solves into blocked
 // multi-RHS substitutions and sheds load with 429s when full. With
-// -loadgen it instead drives such a server (its own in-process one by
-// default) with an open-loop request stream and reports latency
-// percentiles and cache effectiveness.
+// -shards N it runs a fleet: N shards behind a fingerprint router with
+// fleet-wide single-flight and hot-factor replication. With -loadgen
+// it instead drives such a server (its own in-process one by default)
+// with an open-loop request stream — optionally multi-tenant, with
+// Zipf-distributed problem popularity and mixed factorize/solve
+// arrivals — and reports latency percentiles, per-shard load skew and
+// cache/replication effectiveness.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -31,10 +36,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	cacheMB := flag.Int("cache-mb", 1024, "factor cache budget in MiB")
+	cacheMB := flag.Int("cache-mb", 1024, "factor cache budget in MiB (per shard in fleet mode)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "RHS coalescing window (negative disables batching)")
 	maxBatch := flag.Int("max-batch", 64, "max columns per blocked solve")
-	maxInflight := flag.Int("max-inflight", 64, "admitted requests before 429")
+	maxInflight := flag.Int("max-inflight", 64, "admitted requests before 429 (per shard in fleet mode)")
 	maxN := flag.Int("max-n", 16384, "largest accepted problem size")
 	workers := flag.Int("workers", 0, "factorization workers (0 = GOMAXPROCS)")
 	solveWorkers := flag.Int("solve-workers", 0, "planned-solve workers (0 = GOMAXPROCS)")
@@ -46,6 +51,11 @@ func main() {
 	flightSlow := flag.Int("flight-slow", 0, "slowest traces retained per endpoint (0 = default 32)")
 	accessLog := flag.String("access-log", "", "structured JSON access log: file path, or - for stdout (empty disables)")
 
+	shards := flag.Int("shards", 0, "run a fleet of N shards behind a fingerprint router (0 = single server)")
+	replicas := flag.Int("replicas", 1, "fleet: replicas per hot factor (0 disables replication)")
+	promoteAfter := flag.Int("promote-after", 8, "fleet: solves within the promote window that mark a factor hot")
+	promoteWindow := flag.Duration("promote-window", 10*time.Second, "fleet: popularity decay window")
+
 	loadgen := flag.Bool("loadgen", false, "drive a server instead of being one")
 	target := flag.String("target", "", "loadgen: base URL of the server (empty = start one in-process)")
 	lgN := flag.Int("n", 2048, "loadgen: problem size")
@@ -55,6 +65,9 @@ func main() {
 	lgRate := flag.Float64("rate", 50, "loadgen: request arrivals per second (open loop)")
 	lgDur := flag.Duration("duration", 10*time.Second, "loadgen: run length")
 	lgRefine := flag.Bool("refine", false, "loadgen: request iterative refinement")
+	lgProblems := flag.Int("problems", 1, "loadgen: distinct problems (multi-tenant traffic)")
+	lgZipf := flag.Float64("zipf", 1.3, "loadgen: Zipf skew of problem popularity (must be > 1)")
+	lgFacFrac := flag.Float64("factorize-frac", 0, "loadgen: fraction of arrivals issued as /v1/factorize")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -86,27 +99,44 @@ func main() {
 		cfg.AccessLog = f
 	}
 
+	// newHandler builds the service: a single Server, or a fleet of
+	// shards behind the fingerprint router.
+	newHandler := func() (http.Handler, string) {
+		if *shards > 0 {
+			fl := serve.NewFleet(serve.FleetConfig{
+				Shards:        *shards,
+				Replicas:      *replicas,
+				PromoteAfter:  *promoteAfter,
+				PromoteWindow: *promoteWindow,
+				Shard:         cfg,
+			})
+			return fl.Handler(), fmt.Sprintf("fleet of %d shards (%d replicas per hot factor)", fl.NumShards(), *replicas)
+		}
+		return serve.New(cfg).Handler(), "single server"
+	}
+
 	if *loadgen {
-		os.Exit(runLoadgen(cfg, *target, loadgenConfig{
+		os.Exit(runLoadgen(newHandler, *target, loadgenConfig{
 			n: *lgN, tile: *lgTile, tol: *lgTol, nrhs: *lgNRHS,
 			rate: *lgRate, duration: *lgDur, refine: *lgRefine,
+			problems: *lgProblems, zipfS: *lgZipf, facFrac: *lgFacFrac,
 		}))
 	}
-	os.Exit(runServer(cfg, *addr, *drainTimeout))
+	os.Exit(runServer(newHandler, *addr, *drainTimeout))
 }
 
-func runServer(cfg serve.Config, addr string, drainTimeout time.Duration) int {
+func runServer(newHandler func() (http.Handler, string), addr string, drainTimeout time.Duration) int {
 	expvar.Publish("tlrserve.metrics", expvar.Func(func() any { return obs.Default.Map() }))
-	s := serve.New(cfg)
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	h, mode := newHandler()
+	srv := &http.Server{Addr: addr, Handler: h}
 
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlrserve: %v\n", err)
 		return 1
 	}
-	fmt.Printf("tlrserve listening on http://%s (POST /v1/factorize, POST /v1/solve, GET /v1/stats, GET /metrics)\n",
-		l.Addr())
+	fmt.Printf("tlrserve listening on http://%s as %s (POST /v1/factorize, POST /v1/solve, GET /v1/stats, GET /metrics)\n",
+		l.Addr(), mode)
 
 	// SIGTERM/SIGINT drain: stop accepting, let in-flight requests
 	// (including batch leaders mid-window) complete, then exit.
@@ -137,50 +167,85 @@ type loadgenConfig struct {
 	tol, rate     float64
 	duration      time.Duration
 	refine        bool
+	// problems is the number of distinct tenant problems; zipfS skews
+	// their popularity (rank-1 problem hottest); facFrac is the share
+	// of arrivals issued as /v1/factorize instead of /v1/solve.
+	problems int
+	zipfS    float64
+	facFrac  float64
 }
 
 // runLoadgen fires an open-loop request stream (arrivals on a fixed
 // clock, independent of completions — the schedule a latency SLO is
-// measured against) and reports percentiles plus server-side cache
-// and batching effectiveness.
-func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
+// measured against) and reports percentiles plus server-side cache,
+// batching and — in fleet mode — routing and replication
+// effectiveness.
+func runLoadgen(newHandler func() (http.Handler, string), target string, lg loadgenConfig) int {
 	if target == "" {
-		s := serve.New(cfg)
+		h, mode := newHandler()
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tlrserve: %v\n", err)
 			return 1
 		}
-		srv := &http.Server{Handler: s.Handler()}
+		srv := &http.Server{Handler: h}
 		go srv.Serve(l)
 		defer srv.Close()
 		target = fmt.Sprintf("http://%s", l.Addr())
-		fmt.Printf("loadgen: started in-process server on %s\n", target)
+		fmt.Printf("loadgen: started in-process %s on %s\n", mode, target)
+	}
+	if lg.problems < 1 {
+		lg.problems = 1
 	}
 
-	spec := serve.ProblemSpec{N: lg.n, Tile: lg.tile, Tol: lg.tol}
-	fmt.Printf("loadgen: priming factor (n=%d tile=%d tol=%.0e)...\n", lg.n, lg.tile, lg.tol)
+	// Distinct problems differ by geometry seed: same size and accuracy,
+	// different operators — the multi-tenant shape where each tenant
+	// brings their own boundary mesh.
+	specs := make([]serve.ProblemSpec, lg.problems)
+	for i := range specs {
+		specs[i] = serve.ProblemSpec{N: lg.n, Tile: lg.tile, Tol: lg.tol, Seed: int64(42 + i)}
+	}
+	fmt.Printf("loadgen: priming %d factor(s) (n=%d tile=%d tol=%.0e)...\n", lg.problems, lg.n, lg.tile, lg.tol)
 	primeStart := time.Now()
-	code, body, err := postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: spec})
-	if err != nil || code != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "loadgen: prime factorize failed: code=%d err=%v body=%s\n", code, err, body)
-		return 1
+	for i, spec := range specs {
+		code, body, err := postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: spec})
+		if err != nil || code != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "loadgen: prime factorize %d failed: code=%d err=%v body=%s\n", i, code, err, body)
+			return 1
+		}
+		if i == 0 {
+			var prime serve.FactorizeResponse
+			if json.Unmarshal(body, &prime) == nil && !prime.Cached {
+				fmt.Printf("loadgen: solve plan built in %.3fms (%d levels, max width %d)\n",
+					prime.Stats.PlanBuildMS, prime.Stats.PlanLevels, prime.Stats.PlanMaxWidth)
+			}
+		}
 	}
-	var prime serve.FactorizeResponse
-	if json.Unmarshal(body, &prime) == nil && !prime.Cached {
-		fmt.Printf("loadgen: solve plan built in %.3fms (%d levels, max width %d)\n",
-			prime.Stats.PlanBuildMS, prime.Stats.PlanLevels, prime.Stats.PlanMaxWidth)
+	fmt.Printf("loadgen: factors ready in %v; driving %.0f req/s for %v (nrhs=%d refine=%v zipf=%.2f factorize-frac=%.2f)\n",
+		time.Since(primeStart).Round(time.Millisecond), lg.rate, lg.duration, lg.nrhs, lg.refine, lg.zipfS, lg.facFrac)
+
+	// Popularity: Zipf over problem ranks, so problem 0 dominates and
+	// the tail problems trickle — the distribution that exercises
+	// hot-factor replication. rand.Zipf requires s > 1.
+	rng := rand.New(rand.NewSource(7))
+	var zipf *rand.Zipf
+	if lg.problems > 1 {
+		s := lg.zipfS
+		if s <= 1 {
+			s = 1.1
+		}
+		zipf = rand.NewZipf(rng, s, 1, uint64(lg.problems-1))
 	}
-	fmt.Printf("loadgen: factor ready in %v; driving %.0f req/s for %v (nrhs=%d refine=%v)\n",
-		time.Since(primeStart).Round(time.Millisecond), lg.rate, lg.duration, lg.nrhs, lg.refine)
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		substMS   []float64
-		rejected  int
-		failed    int
-		batchSum  int
+		mu          sync.Mutex
+		latencies   []time.Duration
+		substMS     []float64
+		rejected    int
+		failed      int
+		batchSum    int
+		replicaHits int
+		perProblem  = make([]int, lg.problems)
 		// Slowest successful request, tracked by trace id so the run's
 		// tail is explainable offline via /v1/trace/<id>. When that
 		// request rode a shared batch as a follower, the per-task span
@@ -199,17 +264,33 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 	for time.Now().Before(deadline) {
 		<-ticker.C
 		seed++
+		// Pick problem and request kind on the arrival clock's goroutine:
+		// rand.Zipf is not safe for concurrent use.
+		prob := 0
+		if zipf != nil {
+			prob = int(zipf.Uint64())
+		}
+		factorize := lg.facFrac > 0 && rng.Float64() < lg.facFrac
+		perProblem[prob]++
 		wg.Add(1)
-		go func(seed int64) {
+		go func(seed int64, prob int, factorize bool) {
 			defer wg.Done()
-			req := serve.SolveRequest{
-				Problem: &spec,
-				NRHS:    lg.nrhs,
-				RHSSeed: seed,
-				Refine:  lg.refine,
-			}
+			var (
+				code int
+				body []byte
+				err  error
+			)
 			start := time.Now()
-			code, body, err := postJSON(target+"/v1/solve", req)
+			if factorize {
+				code, body, err = postJSON(target+"/v1/factorize", serve.FactorizeRequest{Problem: specs[prob]})
+			} else {
+				code, body, err = postJSON(target+"/v1/solve", serve.SolveRequest{
+					Problem: &specs[prob],
+					NRHS:    lg.nrhs,
+					RHSSeed: seed,
+					Refine:  lg.refine,
+				})
+			}
 			elapsed := time.Since(start)
 			mu.Lock()
 			defer mu.Unlock()
@@ -220,19 +301,24 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 				rejected++
 			case code != http.StatusOK:
 				failed++
+			case factorize:
+				latencies = append(latencies, elapsed)
 			default:
 				latencies = append(latencies, elapsed)
 				var resp serve.SolveResponse
 				if json.Unmarshal(body, &resp) == nil {
 					batchSum += resp.BatchCols
 					substMS = append(substMS, resp.SubstMS)
+					if resp.Replica {
+						replicaHits++
+					}
 					if elapsed > slowest && resp.TraceID != "" {
 						slowest, slowestID, slowestBatch = elapsed, resp.TraceID, resp.BatchCols
 						slowestLeader = resp.LeaderTrace
 					}
 				}
 			}
-		}(seed)
+		}(seed, prob, factorize)
 	}
 	wg.Wait()
 
@@ -262,6 +348,15 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 			spct(0.50), spct(0.95), spct(0.99), substMS[len(substMS)-1])
 	}
 	fmt.Printf("mean batch width %.1f columns\n", float64(batchSum)/float64(len(latencies)))
+	if lg.problems > 1 {
+		top := perProblem[0]
+		sent := 0
+		for _, c := range perProblem {
+			sent += c
+		}
+		fmt.Printf("tenancy: %d problems, hottest got %d/%d arrivals (%.1f%%), %d served by replicas\n",
+			lg.problems, top, sent, 100*float64(top)/float64(sent), replicaHits)
+	}
 
 	// Tail report: name the slowest request and pull its retained trace
 	// so the run's worst case is explainable after the fact.
@@ -294,26 +389,69 @@ func runLoadgen(cfg serve.Config, target string, lg loadgenConfig) int {
 		}
 	}
 
-	// Cache effectiveness from the server's own accounting.
+	// Server-side accounting: the fleet report (per-shard skew,
+	// single-flight totals, replication) when the target is a fleet,
+	// the single-server cache report otherwise.
 	if resp, err := http.Get(target + "/v1/stats"); err == nil {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		var st serve.StatsResponse
-		if json.Unmarshal(body, &st) == nil {
-			refs := st.Cache.Hits + st.Cache.Waits + st.Cache.Misses
-			if refs > 0 {
-				fmt.Printf("factor cache: %.1f%% hit rate (%d hits, %d singleflight waits, %d misses, %d factorization runs)\n",
-					100*float64(st.Cache.Hits+st.Cache.Waits)/float64(refs),
-					st.Cache.Hits, st.Cache.Waits, st.Cache.Misses, st.Totals["serve.factorize.runs"])
-			}
-			if st.Request.Count > 0 {
-				p := st.Request.P99
-				fmt.Printf("p99 breakdown (trace %s): e2e %.3fms = queue %.3f + factor %.3f + batch-wait %.3f + subst %.3f + refine %.3f + resid %.3f + other %.3f\n",
-					p.TraceID, p.E2EMS, p.QueueMS, p.FactorMS, p.BatchWaitMS, p.SubstMS, p.RefineMS, p.ResidMS, p.OtherMS)
+		var fst serve.FleetStatsResponse
+		if json.Unmarshal(body, &fst) == nil && len(fst.Shards) > 0 {
+			reportFleet(fst)
+		} else {
+			var st serve.StatsResponse
+			if json.Unmarshal(body, &st) == nil {
+				refs := st.Cache.Hits + st.Cache.Waits + st.Cache.Misses
+				if refs > 0 {
+					fmt.Printf("factor cache: %.1f%% hit rate (%d hits, %d singleflight waits, %d misses, %d factorization runs)\n",
+						100*float64(st.Cache.Hits+st.Cache.Waits)/float64(refs),
+						st.Cache.Hits, st.Cache.Waits, st.Cache.Misses, st.Totals["serve.factorize.runs"])
+				}
+				if st.Request.Count > 0 {
+					p := st.Request.P99
+					fmt.Printf("p99 breakdown (trace %s): e2e %.3fms = queue %.3f + factor %.3f + batch-wait %.3f + subst %.3f + refine %.3f + resid %.3f + other %.3f\n",
+						p.TraceID, p.E2EMS, p.QueueMS, p.FactorMS, p.BatchWaitMS, p.SubstMS, p.RefineMS, p.ResidMS, p.OtherMS)
+				}
 			}
 		}
 	}
 	return 0
+}
+
+// reportFleet prints the fleet-side view of the run: fleet p99, the
+// per-shard load split (skew = hottest shard over the mean), and how
+// much traffic replication absorbed.
+func reportFleet(fst serve.FleetStatsResponse) {
+	fmt.Printf("fleet: %d shards, %d factorization runs fleet-wide (%d single-flight waits, %d cache hits)\n",
+		len(fst.Shards), fst.SingleFlight.FactorizeRuns, fst.SingleFlight.Waits, fst.SingleFlight.CacheHits)
+	var sum, max uint64
+	for _, sh := range fst.Shards {
+		acc := sh.Admission.Accepted
+		sum += acc
+		if acc > max {
+			max = acc
+		}
+		drain := ""
+		if sh.Draining {
+			drain = " (draining)"
+		}
+		fmt.Printf("  shard %d%s: accepted %d, rejected %d, cache %d entries %d evictions, replicas %d (%d hits), factorizations %d\n",
+			sh.ID, drain, acc, sh.Admission.Rejected, sh.Cache.Entries, sh.Cache.Evictions,
+			sh.Replica.Factors, sh.Replica.Hits, sh.FactorizeRuns)
+	}
+	if sum > 0 && len(fst.Shards) > 0 {
+		mean := float64(sum) / float64(len(fst.Shards))
+		fmt.Printf("load skew: hottest shard %.2fx mean (%d of %d accepted)\n", float64(max)/mean, max, sum)
+	}
+	fmt.Printf("router: %d requests, %d fallback re-routes, %d fleet-wide rejections, %d replica serves\n",
+		fst.Router.Requests, fst.Router.Fallbacks, fst.Router.Rejected, fst.Router.ReplicaServes)
+	fmt.Printf("replication: %d promotions, %d drops, %d active replicas\n",
+		fst.Replication.Promotions, fst.Replication.Drops, fst.Replication.Active)
+	if fst.Request.Count > 0 {
+		p := fst.Request.P99
+		fmt.Printf("fleet p99 breakdown (trace %s): e2e %.3fms = queue %.3f + factor %.3f + batch-wait %.3f + subst %.3f + refine %.3f + resid %.3f + other %.3f\n",
+			p.TraceID, p.E2EMS, p.QueueMS, p.FactorMS, p.BatchWaitMS, p.SubstMS, p.RefineMS, p.ResidMS, p.OtherMS)
+	}
 }
 
 func postJSON(url string, v any) (int, []byte, error) {

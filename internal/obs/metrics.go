@@ -315,17 +315,22 @@ func (r *Registry) Map() map[string]any {
 
 // String renders the snapshot as the human-readable metrics dump the
 // CLI prints under -metrics.
-func (s MetricsSnapshot) String() string {
+func (s MetricsSnapshot) String() string { return s.StringPrefix("") }
+
+// StringPrefix renders the snapshot with every metric name prefixed —
+// how a fleet merges per-shard registries into one scrape
+// ("shard0.serve.cache.hits ...") without name collisions.
+func (s MetricsSnapshot) StringPrefix(prefix string) string {
 	var sb strings.Builder
 	sb.WriteString("metrics:\n")
 	for _, c := range s.Counters {
-		fmt.Fprintf(&sb, "  %-28s %d\n", c.Name, c.Value)
+		fmt.Fprintf(&sb, "  %-28s %d\n", prefix+c.Name, c.Value)
 	}
 	for _, g := range s.Gauges {
-		fmt.Fprintf(&sb, "  %-28s %d (max %d)\n", g.Name, g.Value, g.Max)
+		fmt.Fprintf(&sb, "  %-28s %d (max %d)\n", prefix+g.Name, g.Value, g.Max)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&sb, "  %-28s count %d mean %.1f\n", h.Name, h.Count, h.Mean())
+		fmt.Fprintf(&sb, "  %-28s count %d mean %.1f\n", prefix+h.Name, h.Count, h.Mean())
 		if h.Count == 0 {
 			continue
 		}

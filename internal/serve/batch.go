@@ -79,9 +79,10 @@ type Batcher struct {
 	workers int
 	pending map[batchKey]*pendingBatch
 
-	batches *obs.Counter
-	columns *obs.Counter
-	width   *obs.Histogram
+	batches    *obs.Counter
+	columns    *obs.Counter
+	promotions *obs.Counter
+	width      *obs.Histogram
 }
 
 // NewBatcher returns a batcher with the given coalescing window
@@ -100,10 +101,11 @@ func NewBatcher(window time.Duration, maxCols int, timeout time.Duration, worker
 		maxCols: maxCols,
 		timeout: timeout,
 		workers: workers,
-		pending: map[batchKey]*pendingBatch{},
-		batches: reg.Counter("serve.batch.count"),
-		columns: reg.Counter("serve.batch.columns"),
-		width:   reg.Histogram("serve.batch.width", 1, 2, 4, 8, 16, 32, 64),
+		pending:    map[batchKey]*pendingBatch{},
+		batches:    reg.Counter("serve.batch.count"),
+		columns:    reg.Counter("serve.batch.columns"),
+		promotions: reg.Counter("serve.batch.promotions"),
+		width:      reg.Histogram("serve.batch.width", 1, 2, 4, 8, 16, 32, 64),
 	}
 }
 
@@ -132,12 +134,43 @@ func (b *Batcher) Solve(ctx context.Context, f *Factor, p SolveParams, cols *den
 
 	// Leader: hold the window open, then claim the batch and execute.
 	// A batch filled by joiners closes pb.full and ends the wait early.
+	// A leader whose own context dies mid-window must not strand the
+	// followers that joined its batch: it claims the batch, excises its
+	// own job, and promotes the survivors — the batch executes on a
+	// detached goroutine (execute already runs under the batcher's own
+	// timeout, not any request's), with the first surviving follower's
+	// trace adopting leadership.
 	if b.window > 0 && !alreadyFull {
 		timer := time.NewTimer(b.window)
 		select {
 		case <-timer.C:
 		case <-pb.full:
 			timer.Stop()
+		case <-ctx.Done():
+			timer.Stop()
+			b.mu.Lock()
+			if b.pending[key] == pb {
+				delete(b.pending, key)
+			}
+			rest := make([]*solveJob, 0, len(pb.jobs)-1)
+			for _, j := range pb.jobs {
+				if j != job {
+					rest = append(rest, j)
+				}
+			}
+			b.mu.Unlock()
+			if len(rest) > 0 {
+				b.promotions.Add(0, 1)
+				// Pin the factor for the detached execution: the
+				// cancelled leader releases its own pin when its
+				// handler returns, and every follower may abandon too.
+				f.Retain()
+				go func() {
+					defer f.Release()
+					b.execute(f, p, rest)
+				}()
+			}
+			return solveOutcome{err: ctx.Err()}
 		}
 	}
 	b.mu.Lock()

@@ -137,3 +137,66 @@ func TestBatcherCtxAbandon(t *testing.T) {
 		t.Fatalf("surviving job must complete: %+v", kept)
 	}
 }
+
+// TestBatcherLeaderCancelPromotion: a leader whose context dies
+// mid-window must not strand the followers that joined its batch — the
+// first surviving follower is promoted and the batch executes without
+// the cancelled job, returning results bitwise identical to a solo
+// solve.
+func TestBatcherLeaderCancelPromotion(t *testing.T) {
+	const n = 256
+	f := buildTestFactor(t, n)
+	reg := obs.NewRegistry(4)
+	b := NewBatcher(time.Second, 16, time.Minute, 2, reg)
+
+	rng := rand.New(rand.NewSource(5))
+	leaderRHS := dense.Random(rng, n, 1)
+	followerRHS := dense.Random(rng, n, 1)
+
+	leaderCtx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var leaderOut, followerOut solveOutcome
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderOut = b.Solve(leaderCtx, f, SolveParams{}, leaderRHS.Clone())
+	}()
+	time.Sleep(100 * time.Millisecond) // leader is parked in its window
+	followerCols := followerRHS.Clone()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerOut = b.Solve(context.Background(), f, SolveParams{}, followerCols)
+	}()
+	time.Sleep(100 * time.Millisecond) // follower has joined the pending batch
+	cancel()
+	wg.Wait()
+
+	if leaderOut.err == nil {
+		t.Fatal("cancelled leader must return its context error")
+	}
+	if followerOut.err != nil {
+		t.Fatalf("promoted follower failed: %v", followerOut.err)
+	}
+	if followerOut.batchCols != 1 {
+		t.Fatalf("promoted batch should hold only the follower's column, got %d", followerOut.batchCols)
+	}
+
+	solo := followerRHS.Clone()
+	if err := core.SolveCtx(context.Background(), f.L, solo); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Float64bits(followerCols.At(i, 0)) != math.Float64bits(solo.At(i, 0)) {
+			t.Fatalf("row %d: promoted-batch result differs bitwise from solo", i)
+		}
+	}
+	if got := b.promotions.Value(); got != 1 {
+		t.Fatalf("want 1 recorded promotion, got %d", got)
+	}
+	// The factor was pinned for the detached execution and released
+	// after it; an unmanaged test factor must be left intact.
+	if f.L == nil || f.refs.Load() != 0 {
+		t.Fatalf("factor lifetime mishandled after promotion (refs %d)", f.refs.Load())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"tlrchol/internal/core"
 	"tlrchol/internal/obs"
@@ -14,6 +15,13 @@ import (
 // the unfactorized compressed operator, which solves need for residual
 // evaluation and iterative refinement. Both matrices are immutable
 // once the entry is published (solves never write into the factor).
+//
+// Lifetime is reference-counted: the owning cache holds one reference
+// while the entry is resident, each replica store holds one, and every
+// in-flight solve pins one between acquisition (Get/Lookup) and
+// completion. Eviction therefore never frees a factor out from under a
+// running solve — it only drops the cache's reference, and the actual
+// release happens when the last pin goes away.
 type Factor struct {
 	FP   string
 	Spec ProblemSpec
@@ -32,6 +40,56 @@ type Factor struct {
 	SizeBytes int64
 	// FactorStats summarizes the factorization that produced L.
 	FactorStats FactorStats
+
+	// refs counts live references (cache residency + replica stores +
+	// in-flight pins). managed marks cache-owned factors: only those
+	// release their payload when the count reaches zero, so test
+	// literals that never enter a cache stay inert.
+	refs    atomic.Int64
+	managed bool
+	freed   atomic.Bool
+}
+
+// Retain pins the factor. Callers must hold an existing reference (or
+// the lock of the structure that holds one) — use tryRetain when the
+// factor may already have been released.
+func (f *Factor) Retain() { f.refs.Add(1) }
+
+// tryRetain pins the factor unless its last reference is already gone.
+func (f *Factor) tryRetain() bool {
+	for {
+		n := f.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if f.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The last release of a cache-managed
+// factor frees its payload; over-release is a programming error and
+// panics rather than silently corrupting a live solve.
+func (f *Factor) Release() {
+	switch n := f.refs.Add(-1); {
+	case n == 0:
+		f.free()
+	case n < 0:
+		panic("serve: Factor released more times than retained")
+	}
+}
+
+// free drops the payload once no reference can reach it. Nil-ing the
+// fields is deliberate: a refcounting bug turns into a loud nil
+// dereference (or a race-detector report) in the eviction-under-solve
+// test instead of a silent stale read.
+func (f *Factor) free() {
+	if !f.managed {
+		return
+	}
+	f.freed.Store(true)
+	f.L, f.Op, f.Plan = nil, nil, nil
 }
 
 // FactorStats is the per-factorization report returned to clients.
@@ -77,12 +135,20 @@ type CacheStats struct {
 // budget. The single-flight property is the service's core economy:
 // when a burst of identical requests arrives, exactly one factorization
 // runs and every other request waits on its ready channel.
+//
+// Factors returned by Get and Lookup are pinned for the caller, who
+// must Release them when the solve completes.
 type FactorCache struct {
 	mu      sync.Mutex
 	budget  int64
 	used    int64
 	entries map[string]*cacheEntry
 	lru     *list.List // of fingerprint strings, front = most recent
+
+	// onEvict, when set (fleet mode), is called outside the cache lock
+	// for every evicted fingerprint — the hook that keeps replica
+	// eviction owner-coordinated.
+	onEvict func(fp string, f *Factor)
 
 	hits, misses, waits, evictions *obs.Counter
 	bytesGauge, entriesGauge       *obs.Gauge
@@ -107,64 +173,84 @@ func NewFactorCache(budget int64, reg *obs.Registry) *FactorCache {
 	}
 }
 
+// SetOnEvict installs the eviction hook. Call before the cache serves
+// traffic; the hook runs outside the cache lock.
+func (c *FactorCache) SetOnEvict(fn func(fp string, f *Factor)) { c.onEvict = fn }
+
 // Get returns the factor for fp, building it with build on a miss.
 // Concurrent calls for the same fp share one build: the first caller
 // runs build, the rest block on the entry's ready channel (or their
 // own ctx). cached reports whether this caller avoided running build.
 // A failed build is not cached; the error propagates to every waiter
-// of that flight and the next Get retries.
-func (c *FactorCache) Get(ctx context.Context, fp string, build func() (*Factor, error)) (f *Factor, cached bool, err error) {
-	c.mu.Lock()
-	if e, ok := c.entries[fp]; ok {
-		building := e.elem == nil
-		if !building {
-			c.lru.MoveToFront(e.elem)
-		}
-		c.mu.Unlock()
-		if building {
+// of that flight and the next Get retries. The returned factor is
+// pinned for the caller (Release when done with it).
+func (c *FactorCache) Get(ctx context.Context, fp string, build func() (*Factor, error)) (*Factor, bool, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[fp]; ok {
+			if e.elem != nil {
+				// Resident: pin under the lock, where the cache's own
+				// reference is guaranteed live.
+				c.lru.MoveToFront(e.elem)
+				e.f.Retain()
+				c.mu.Unlock()
+				c.hits.Add(0, 1)
+				return e.f, true, nil
+			}
+			c.mu.Unlock()
 			c.waits.Add(0, 1)
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			// The build published, but heavy churn may already have
+			// evicted (and freed) it before this waiter pinned. That
+			// narrow window fails tryRetain; loop and rebuild.
+			if e.f.tryRetain() {
+				return e.f, true, nil
+			}
+			continue
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.entries[fp] = e
+		c.mu.Unlock()
+		c.misses.Add(0, 1)
+
+		f, err := build()
+
+		var evicted []evictedFactor
+		c.mu.Lock()
+		if err != nil {
+			delete(c.entries, fp)
 		} else {
-			c.hits.Add(0, 1)
+			f.managed = true
+			f.refs.Store(1) // the cache's reference
+			f.Retain()      // the building caller's pin
+			e.f = f
+			e.elem = c.lru.PushFront(fp)
+			c.used += f.SizeBytes
+			evicted = c.evictLocked()
 		}
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+		c.updateGaugesLocked()
+		c.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		c.finishEvictions(evicted)
+		if err != nil {
+			return nil, false, err
 		}
-		if e.err != nil {
-			return nil, false, e.err
-		}
-		return e.f, true, nil
+		return f, false, nil
 	}
-	e := &cacheEntry{ready: make(chan struct{})}
-	c.entries[fp] = e
-	c.mu.Unlock()
-	c.misses.Add(0, 1)
-
-	f, err = build()
-
-	c.mu.Lock()
-	if err != nil {
-		delete(c.entries, fp)
-	} else {
-		e.f = f
-		e.elem = c.lru.PushFront(fp)
-		c.used += f.SizeBytes
-		c.evictLocked()
-	}
-	c.updateGaugesLocked()
-	c.mu.Unlock()
-	e.err = err
-	close(e.ready)
-	if err != nil {
-		return nil, false, err
-	}
-	return f, false, nil
 }
 
-// Lookup returns a completed factor without building, for requests
-// that name a fingerprint directly. In-flight builds count as absent
-// (a solve with no spec cannot wait on a build it could not start).
+// Lookup returns a completed factor without building, pinned for the
+// caller, for requests that name a fingerprint directly. In-flight
+// builds count as absent (a solve with no spec cannot wait on a build
+// it could not start).
 func (c *FactorCache) Lookup(fp string) (*Factor, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -173,13 +259,24 @@ func (c *FactorCache) Lookup(fp string) (*Factor, bool) {
 		return nil, false
 	}
 	c.lru.MoveToFront(e.elem)
+	e.f.Retain()
 	return e.f, true
 }
 
-// evictLocked drops least-recently-used completed entries until the
+// evictedFactor is one entry dropped by evictLocked, finished (hook +
+// reference drop) outside the lock.
+type evictedFactor struct {
+	fp string
+	f  *Factor
+}
+
+// evictLocked removes least-recently-used completed entries until the
 // budget is met, always keeping at least one so a single factor larger
 // than the budget still caches (it would otherwise thrash forever).
-func (c *FactorCache) evictLocked() {
+// The evicted factors' references are NOT dropped here: the caller
+// must pass the result to finishEvictions after releasing the lock.
+func (c *FactorCache) evictLocked() []evictedFactor {
+	var out []evictedFactor
 	for c.used > c.budget && c.lru.Len() > 1 {
 		back := c.lru.Back()
 		fp := back.Value.(string)
@@ -188,6 +285,21 @@ func (c *FactorCache) evictLocked() {
 		delete(c.entries, fp)
 		c.used -= e.f.SizeBytes
 		c.evictions.Add(0, 1)
+		out = append(out, evictedFactor{fp: fp, f: e.f})
+	}
+	return out
+}
+
+// finishEvictions completes evictions outside the cache lock: the
+// fleet hook drops replicas first (owner-coordinated eviction), then
+// the cache's own reference goes away. A factor still pinned by an
+// in-flight solve survives until that solve releases it.
+func (c *FactorCache) finishEvictions(evs []evictedFactor) {
+	for _, ev := range evs {
+		if c.onEvict != nil {
+			c.onEvict(ev.fp, ev.f)
+		}
+		ev.f.Release()
 	}
 }
 

@@ -72,8 +72,11 @@ func (sp *ProblemSpec) normalize(maxN int) error {
 	if sp.DeltaFactor == 0 {
 		sp.DeltaFactor = 2
 	}
-	if sp.DeltaFactor < 0 || math.IsNaN(sp.DeltaFactor) {
-		return fmt.Errorf("delta_factor must be positive, got %g", sp.DeltaFactor)
+	if sp.DeltaFactor < 0 || math.IsNaN(sp.DeltaFactor) || math.IsInf(sp.DeltaFactor, 0) {
+		return fmt.Errorf("delta_factor must be positive and finite, got %g", sp.DeltaFactor)
+	}
+	if math.IsNaN(sp.Nugget) || math.IsInf(sp.Nugget, 0) {
+		return fmt.Errorf("nugget must be finite, got %g", sp.Nugget)
 	}
 	if sp.Nugget == 0 {
 		sp.Nugget = 100 * sp.Tol
@@ -114,11 +117,40 @@ func (sp ProblemSpec) problem(pts []rbf.Point) (*rbf.Problem, float64) {
 	return prob, delta
 }
 
+// canonFloat canonicalizes a float for hashing: negative zero compares
+// equal to positive zero, so the two must not produce distinct cache
+// keys — hash them as the same bit pattern. Non-finite values never
+// reach the hash (validatePoints and normalize reject them), so every
+// remaining distinct bit pattern denotes a genuinely distinct problem.
+func canonFloat(v float64) float64 {
+	if v == 0 {
+		return 0 // collapses -0.0 onto +0.0
+	}
+	return v
+}
+
+// validatePoints rejects geometries with non-finite coordinates. A NaN
+// coordinate would make the problem invalid while still hashing to a
+// key (and distinct NaN payloads would hash to *different* keys for
+// the same invalid problem), so the spec is refused before
+// fingerprinting.
+func validatePoints(pts []rbf.Point) error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	for i, p := range pts {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.Z) {
+			return fmt.Errorf("point %d has non-finite coordinates (%g, %g, %g)", i, p.X, p.Y, p.Z)
+		}
+	}
+	return nil
+}
+
 // Fingerprint hashes the problem identity: the geometry (exact float
-// bits of every generated point), the kernel and its
-// parameters, and the discretization/accuracy knobs (tile, tol,
-// maxrank, trim). Anything that changes the factor's bits is in the
-// hash; request-side options (RHS, refinement) are not.
+// bits of every generated point, with -0.0 canonicalized to +0.0), the
+// kernel and its parameters, and the discretization/accuracy knobs
+// (tile, tol, maxrank, trim). Anything that changes the factor's bits
+// is in the hash; request-side options (RHS, refinement) are not.
+// Callers must validate the geometry first (validatePoints): the hash
+// assumes every coordinate is finite.
 func Fingerprint(sp ProblemSpec, pts []rbf.Point) string {
 	h := sha256.New()
 	var buf [8]byte
@@ -126,7 +158,7 @@ func Fingerprint(sp ProblemSpec, pts []rbf.Point) string {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	wf := func(v float64) { w64(math.Float64bits(v)) }
+	wf := func(v float64) { w64(math.Float64bits(canonFloat(v))) }
 	w64(uint64(sp.N))
 	w64(uint64(sp.Tile))
 	wf(sp.Tol)

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tlrchol/internal/rbf"
+)
+
+// TestFingerprintCanonicalZero pins the IEEE-equality contract of the
+// cache key: -0.0 and +0.0 compare equal, so geometries differing only
+// in the sign of a zero coordinate must map to the same fingerprint
+// (before the fix they hashed to distinct keys, splitting one problem
+// across two cache entries).
+func TestFingerprintCanonicalZero(t *testing.T) {
+	sp := testSpec(256)
+	negZero := math.Copysign(0, -1)
+	cases := []struct {
+		name     string
+		pos, neg []rbf.Point
+	}{
+		{"x", []rbf.Point{{X: 0, Y: 1, Z: 2}}, []rbf.Point{{X: negZero, Y: 1, Z: 2}}},
+		{"y", []rbf.Point{{X: 1, Y: 0, Z: 2}}, []rbf.Point{{X: 1, Y: negZero, Z: 2}}},
+		{"z", []rbf.Point{{X: 1, Y: 2, Z: 0}}, []rbf.Point{{X: 1, Y: 2, Z: negZero}}},
+		{"all", []rbf.Point{{}, {X: 3}}, []rbf.Point{{X: negZero, Y: negZero, Z: negZero}, {X: 3}}},
+	}
+	for _, tc := range cases {
+		if got, want := Fingerprint(sp, tc.neg), Fingerprint(sp, tc.pos); got != want {
+			t.Errorf("%s: -0.0 geometry fingerprints differently: %s vs %s", tc.name, got, want)
+		}
+	}
+	// Sanity: a genuinely different coordinate still separates.
+	if Fingerprint(sp, cases[0].pos) == Fingerprint(sp, []rbf.Point{{X: 1e-300, Y: 1, Z: 2}}) {
+		t.Fatal("distinct geometries must fingerprint differently")
+	}
+}
+
+// TestValidatePoints pins the non-finite rejection: NaN coordinates
+// carry arbitrary payload bits, so two requests for the same invalid
+// problem would otherwise mint distinct cache keys and factorize twice
+// (both producing garbage).
+func TestValidatePoints(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		pts  []rbf.Point
+		ok   bool
+	}{
+		{"finite", []rbf.Point{{X: 1, Y: 2, Z: 3}, {X: -4.5}}, true},
+		{"neg zero ok", []rbf.Point{{X: math.Copysign(0, -1)}}, true},
+		{"nan x", []rbf.Point{{X: nan}}, false},
+		{"nan y", []rbf.Point{{Y: nan}}, false},
+		{"nan z", []rbf.Point{{Z: nan}}, false},
+		{"pos inf", []rbf.Point{{X: inf}}, false},
+		{"neg inf", []rbf.Point{{Z: math.Inf(-1)}}, false},
+		{"late bad point", []rbf.Point{{X: 1}, {X: 2}, {Y: nan}}, false},
+	}
+	for _, tc := range cases {
+		err := validatePoints(tc.pts)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: want rejection, got nil", tc.name)
+		}
+	}
+}
+
+// TestNormalizeNonFinite pins spec-level rejection of non-finite kernel
+// parameters, which would otherwise flow into the geometry and hash.
+func TestNormalizeNonFinite(t *testing.T) {
+	mut := []struct {
+		name string
+		f    func(*ProblemSpec)
+	}{
+		{"nan tol", func(s *ProblemSpec) { s.Tol = math.NaN() }},
+		{"inf tol", func(s *ProblemSpec) { s.Tol = math.Inf(1) }},
+		{"inf delta", func(s *ProblemSpec) { s.DeltaFactor = math.Inf(1) }},
+		{"nan delta", func(s *ProblemSpec) { s.DeltaFactor = math.NaN() }},
+		{"nan nugget", func(s *ProblemSpec) { s.Nugget = math.NaN() }},
+		{"inf nugget", func(s *ProblemSpec) { s.Nugget = math.Inf(-1) }},
+	}
+	for _, tc := range mut {
+		sp := ProblemSpec{N: 128, Tile: 64, Tol: 1e-7}
+		tc.f(&sp)
+		if err := sp.normalize(0); err == nil {
+			t.Errorf("%s: normalize must reject", tc.name)
+		}
+	}
+}
+
+// TestCanonFloat spot-checks the canonicalization helper directly.
+func TestCanonFloat(t *testing.T) {
+	if bits := math.Float64bits(canonFloat(math.Copysign(0, -1))); bits != 0 {
+		t.Fatalf("canonFloat(-0.0) = %#x, want +0.0", bits)
+	}
+	if canonFloat(1.5) != 1.5 || canonFloat(-2.25) != -2.25 {
+		t.Fatal("canonFloat must pass non-zero values through")
+	}
+}
+
+// TestSolveRejectsNaNGeometrySpec drives the validation through the
+// HTTP surface: a spec whose kernel parameters are non-finite is a 400,
+// not a factorization attempt.
+func TestSolveRejectsNaNGeometrySpec(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := postJSON(t, ts.URL+"/v1/factorize", map[string]any{
+		"problem": map[string]any{"n": 128, "tile": 64, "tol": 1e-7, "delta_factor": "bogus"},
+	})
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed delta_factor: want 400, got %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Fatalf("error envelope missing: %s", body)
+	}
+}

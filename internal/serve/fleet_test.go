@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tlrchol/internal/obs"
+)
+
+func newTestFleet(t *testing.T, mut func(*FleetConfig)) (*Fleet, *httptest.Server) {
+	t.Helper()
+	cfg := FleetConfig{
+		Shards:  3,
+		Metrics: obs.NewRegistry(4),
+		Shard: Config{
+			BatchWindow:  150 * time.Millisecond,
+			MaxBatchCols: 16,
+			Workers:      2,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	fl := NewFleet(cfg)
+	ts := httptest.NewServer(fl.Handler())
+	t.Cleanup(ts.Close)
+	return fl, ts
+}
+
+// fleetFP computes the routing fingerprint for a spec the way the
+// router does.
+func fleetFP(t *testing.T, fl *Fleet, sp ProblemSpec) string {
+	t.Helper()
+	fp, err := fl.routeFP(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestFleetKeystone is the fleet acceptance scenario: 16 concurrent
+// solves for one new fingerprint through a 3-shard fleet trigger
+// exactly one factorization fleet-wide, return solutions bitwise
+// identical to a single standalone server, and — after the owner shard
+// drains — re-route to a new owner. Runs under -race via
+// scripts/check.sh.
+func TestFleetKeystone(t *testing.T) {
+	fl, ts := newTestFleet(t, func(c *FleetConfig) {
+		c.Replicas = -1 // no replication: drain must force a re-factorization
+	})
+	const n, k = 256, 16
+	spec := ProblemSpec{N: n, Tile: 64, Tol: 1e-7}
+
+	rng := rand.New(rand.NewSource(11))
+	cols := make([][]float64, k)
+	for j := range cols {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = rng.Float64() - 0.5
+		}
+		cols[j] = col
+	}
+
+	type result struct {
+		status int
+		resp   SolveResponse
+		body   string
+	}
+	results := make([]result, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+				Problem:        &spec,
+				RHS:            [][]float64{cols[j]},
+				ReturnSolution: true,
+			})
+			results[j] = result{status: resp.StatusCode, body: string(body)}
+			json.Unmarshal(body, &results[j].resp)
+		}()
+	}
+	wg.Wait()
+
+	owner := fl.owner(fleetFP(t, fl, spec))
+	for j, r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", j, r.status, r.body)
+		}
+		if r.resp.Shard == nil || *r.resp.Shard != owner {
+			t.Fatalf("request %d served by %v, want owner %d", j, r.resp.Shard, owner)
+		}
+		if len(r.resp.Residuals) != 1 || r.resp.Residuals[0] > 1e-4 {
+			t.Fatalf("request %d: residuals %v", j, r.resp.Residuals)
+		}
+		if len(r.resp.Solution) != 1 || len(r.resp.Solution[0]) != n {
+			t.Fatalf("request %d: malformed solution", j)
+		}
+	}
+	st := fl.Stats()
+	if st.SingleFlight.FactorizeRuns != 1 {
+		t.Fatalf("want exactly 1 factorization fleet-wide for %d concurrent requests, got %d",
+			k, st.SingleFlight.FactorizeRuns)
+	}
+
+	// Bitwise parity with a standalone server: the factorization's
+	// write chains are schedule-deterministic, so an independent
+	// single-shard build must produce identical solutions.
+	_, solo := newTestServer(t, nil)
+	for j := 0; j < k; j++ {
+		resp, body := postJSON(t, solo.URL+"/v1/solve", SolveRequest{
+			Problem:        &spec,
+			RHS:            [][]float64{cols[j]},
+			ReturnSolution: true,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("standalone request %d: status %d: %s", j, resp.StatusCode, body)
+		}
+		var sr SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			got := results[j].resp.Solution[0][i]
+			want := sr.Solution[0][i]
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("request %d row %d: fleet %x vs standalone %x",
+					j, i, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+
+	// Drain the owner: the next solve must route to a fresh owner,
+	// which factorizes its own copy (replication is off), bringing the
+	// fleet-wide run count to exactly 2.
+	fl.SetDrain(owner, true)
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain solve: status %d: %s", resp.StatusCode, body)
+	}
+	var dr SolveResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Shard == nil || *dr.Shard == owner {
+		t.Fatalf("post-drain solve served by %v, want a shard other than drained owner %d", dr.Shard, owner)
+	}
+	if st := fl.Stats(); st.SingleFlight.FactorizeRuns != 2 {
+		t.Fatalf("drained owner must force one re-factorization, got %d runs", st.SingleFlight.FactorizeRuns)
+	}
+
+	// One trace id spans the router hop and the shard's work: the
+	// retained trace of the post-drain request carries both the
+	// router.route and the shard.solve spans.
+	traceResp, traceBody := getURL(t, ts.URL+"/v1/trace/"+dr.TraceID)
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace lookup: status %d: %s", traceResp.StatusCode, traceBody)
+	}
+	for _, span := range []string{"router.route", "shard.solve"} {
+		if !strings.Contains(string(traceBody), span) {
+			t.Fatalf("trace %s missing %q span", dr.TraceID, span)
+		}
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestFleetReplication: a fingerprint crossing the promotion threshold
+// is copied to replica shards, replica holders serve solves locally,
+// and the owner's eviction tears every replica down.
+func TestFleetReplication(t *testing.T) {
+	fl, ts := newTestFleet(t, func(c *FleetConfig) {
+		c.Replicas = 1
+		c.PromoteAfter = 3
+		c.PromoteWindow = time.Minute
+	})
+	spec := ProblemSpec{N: 192, Tile: 64, Tol: 1e-7}
+	fp := fleetFP(t, fl, spec)
+	owner := fl.owner(fp)
+
+	if resp, body := postJSON(t, ts.URL+"/v1/factorize", FactorizeRequest{Problem: spec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime factorize: %d: %s", resp.StatusCode, body)
+	}
+	for i := 0; i < 4; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1, RHSSeed: int64(i + 1)}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	holders := fl.repl.replicaHolders(fp)
+	if len(holders) != 1 {
+		t.Fatalf("want 1 replica holder after crossing the threshold, got %v", holders)
+	}
+	holder := holders[0]
+	if holder == owner {
+		t.Fatalf("owner %d must not hold its own replica", owner)
+	}
+	if got := fl.shards[holder].replicas.stats().Factors; got != 1 {
+		t.Fatalf("holder shard %d replica store: %d factors, want 1", holder, got)
+	}
+
+	// The replica actually serves: with the owner's admission gate
+	// forced shut, the solve lands on the holder from its local copy.
+	if !fl.shards[owner].adm.TryAcquire() {
+		t.Fatal("could not occupy the owner's admission slots")
+	}
+	for fl.shards[owner].adm.TryAcquire() {
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1, RHSSeed: 99})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica-fallback solve: %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shard == nil || *sr.Shard != holder || !sr.Replica {
+		t.Fatalf("fallback solve served by %v (replica=%v), want holder %d", sr.Shard, sr.Replica, holder)
+	}
+	if st := fl.Stats(); st.Router.ReplicaServes == 0 {
+		t.Fatalf("router stats must count the replica serve: %+v", st.Router)
+	}
+	for i := 0; i < fl.shards[owner].cfg.MaxInflight; i++ {
+		fl.shards[owner].adm.Release()
+	}
+
+	// Owner-coordinated teardown: evicting the fingerprint from the
+	// owner's cache must drop the replica everywhere.
+	filler, _, err := fl.shards[owner].cache.Get(context.Background(), "filler", func() (*Factor, error) {
+		return &Factor{FP: "filler", SizeBytes: 1 << 62}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filler.Release()
+	if got := fl.repl.replicaHolders(fp); len(got) != 0 {
+		t.Fatalf("eviction must drop replica holders, still have %v", got)
+	}
+	if got := fl.shards[holder].replicas.stats().Factors; got != 0 {
+		t.Fatalf("holder shard %d still stores %d replicas after owner eviction", holder, got)
+	}
+	if st := fl.Stats(); st.Replication.Drops == 0 || st.Replication.Active != 0 {
+		t.Fatalf("replication stats after eviction: %+v", st.Replication)
+	}
+}
+
+// TestFleetRetryAfterOn429: when the owner and every replica are
+// saturated, the fleet's 429 carries a computed Retry-After hint and
+// the rejection is counted; factorize requests (owner-only) reject the
+// same way.
+func TestFleetRetryAfterOn429(t *testing.T) {
+	fl, ts := newTestFleet(t, func(c *FleetConfig) {
+		c.Replicas = -1
+		c.Shard.MaxInflight = 1
+	})
+	spec := ProblemSpec{N: 192, Tile: 64, Tol: 1e-7}
+	if resp, body := postJSON(t, ts.URL+"/v1/factorize", FactorizeRequest{Problem: spec}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime factorize: %d: %s", resp.StatusCode, body)
+	}
+	owner := fl.owner(fleetFP(t, fl, spec))
+	if !fl.shards[owner].adm.TryAcquire() {
+		t.Fatal("could not occupy the owner's slot")
+	}
+	defer fl.shards[owner].adm.Release()
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Problem: &spec, NRHS: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want 429 from a saturated fleet, got %d: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatalf("fleet 429 must carry a Retry-After hint")
+	}
+	if st := fl.Stats(); st.Router.Rejected == 0 {
+		t.Fatalf("fleet-wide rejection must be counted: %+v", st.Router)
+	}
+}

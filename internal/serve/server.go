@@ -7,7 +7,8 @@
 // (2) coalesces concurrent solves against the same factor into one
 // blocked multi-column substitution, and (3) applies admission
 // control so overload degrades into fast 429s instead of queue
-// collapse.
+// collapse. Fleet mode (see fleet.go) stacks N of these Servers as
+// shards behind a fingerprint-routing front end.
 package serve
 
 import (
@@ -16,6 +17,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -106,9 +108,12 @@ func (c *Config) defaults() {
 	}
 }
 
-// Server is the HTTP solve service. Create with New, mount Handler
-// on an http.Server, and drain with http.Server.Shutdown — in-flight
-// requests (including batch leaders mid-window) run to completion.
+// Server is the HTTP solve service — standalone, or one shard of a
+// Fleet. Create with New, mount Handler on an http.Server, and drain
+// with http.Server.Shutdown — in-flight requests (including batch
+// leaders mid-window) run to completion. In fleet mode the Fleet calls
+// the do* entry points directly (in-process; no HTTP hop between
+// router and shard) and the shard's own mux goes unused.
 type Server struct {
 	cfg     Config
 	reg     *obs.Registry
@@ -118,19 +123,23 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
+	// id is the shard index in fleet mode, -1 standalone. It labels
+	// shard spans and capacity errors.
+	id int
+	// replicas holds factors this server serves as a non-owner replica
+	// (always present; empty outside fleet mode).
+	replicas *replicaStore
+
 	factorRuns, factorReqs, solveReqs, httpErrors *obs.Counter
 	factorLatency, solveLatency, substLatency     *obs.Histogram
 	// solveOnly tracks recent substitution-only latencies for the
-	// /v1/stats percentile report; reqLatency tracks full end-to-end
-	// request breakdowns so queueing and batching delay are visible.
-	solveOnly  *latencyRing
-	reqLatency *breakdownRing
+	// /v1/stats percentile report and the Retry-After estimator.
+	solveOnly *latencyRing
 
-	// Request tracing: ids mints trace ids, flight retains the traces
-	// worth explaining, accessMu serializes access-log lines.
-	ids      *traceIDs
-	flight   *obs.FlightRecorder
-	accessMu sync.Mutex
+	// tr is the request-tracing front end (trace ids, flight retention,
+	// end-to-end breakdown ring, access log). In fleet mode the Fleet
+	// runs its own tracer and the shard's stays idle.
+	tr *tracer
 
 	statsMu  sync.Mutex
 	lastSnap obs.MetricsSnapshot
@@ -148,6 +157,8 @@ func New(cfg Config) *Server {
 		adm:           NewAdmission(cfg.MaxInflight, reg),
 		mux:           http.NewServeMux(),
 		started:       time.Now(),
+		id:            -1,
+		replicas:      newReplicaStore(reg),
 		factorRuns:    reg.Counter("serve.factorize.runs"),
 		factorReqs:    reg.Counter("serve.factorize.requests"),
 		solveReqs:     reg.Counter("serve.solve.requests"),
@@ -156,14 +167,12 @@ func New(cfg Config) *Server {
 		solveLatency:  reg.Histogram("serve.solve.latency_ms", 1, 5, 10, 50, 100, 1000, 10000),
 		substLatency:  reg.Histogram("serve.solve.subst_ms", 1, 5, 10, 50, 100, 1000, 10000),
 		solveOnly:     newLatencyRing(0),
-		reqLatency:    newBreakdownRing(0),
-		ids:           newTraceIDs(),
-		flight:        obs.NewFlightRecorder(cfg.FlightSlow, cfg.FlightRecent, cfg.FlightErrors),
 	}
-	s.mux.HandleFunc("POST /v1/factorize", s.traced("/v1/factorize", true, s.handleFactorize))
-	s.mux.HandleFunc("POST /v1/solve", s.traced("/v1/solve", true, s.handleSolve))
-	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
-	s.mux.HandleFunc("GET /v1/stats", s.traced("/v1/stats", false, s.handleStats))
+	s.tr = newTracer(&cfg, s.httpErrors)
+	s.mux.HandleFunc("POST /v1/factorize", s.tr.traced("/v1/factorize", true, s.handleFactorize))
+	s.mux.HandleFunc("POST /v1/solve", s.tr.traced("/v1/solve", true, s.handleSolve))
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.tr.handleTrace)
+	s.mux.HandleFunc("GET /v1/stats", s.tr.traced("/v1/stats", false, s.handleStats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
@@ -177,23 +186,90 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+// apiError carries an HTTP status (plus an optional Retry-After hint)
+// across the shard/router boundary, so the fleet can distinguish "this
+// shard is full, try a replica" from a terminal failure.
+type apiError struct {
+	code       int
+	retryAfter int // seconds; > 0 emits a Retry-After header
+	msg        string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.httpErrors.Add(0, 1)
-	s.writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+	failJSON(w, s.httpErrors, code, format, args...)
 }
 
-// reject emits the 429 backpressure response with a retry hint.
+// failAPI writes an apiError, propagating its Retry-After hint.
+func (s *Server) failAPI(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	s.fail(w, e.code, "%s", e.msg)
+}
+
+// retryAfterEstimate predicts, in whole seconds, when an admission
+// slot should free: the recent median substitution latency times the
+// current queue depth. A cold server (no latency history) assumes a
+// 25ms solve. Clamped to [1, 30] — the hint steers client backoff, it
+// is not a promise. The estimate is deterministic so the fleet router
+// can compare shards by it; the client-facing header adds jitter on
+// top (retryAfterSeconds) to decorrelate retry storms.
+func (s *Server) retryAfterEstimate() int {
+	st := s.solveOnly.Stats()
+	p50 := st.P50MS
+	if st.Count == 0 || p50 <= 0 {
+		p50 = 25
+	}
+	inflight := float64(s.adm.inflight.Load())
+	if inflight < 1 {
+		inflight = 1
+	}
+	secs := int(math.Ceil(p50 * inflight / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfterSeconds is the client-facing hint: the estimate ±25%
+// jitter, still clamped to ≥ 1.
+func (s *Server) retryAfterSeconds() int {
+	est := s.retryAfterEstimate()
+	if j := est / 4; j > 0 {
+		est += rand.Intn(2*j+1) - j
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// overloaded builds the 429 apiError for a full admission gate.
+func (s *Server) overloaded() *apiError {
+	who := "server"
+	if s.id >= 0 {
+		who = fmt.Sprintf("shard %d", s.id)
+	}
+	return &apiError{
+		code:       http.StatusTooManyRequests,
+		retryAfter: s.retryAfterSeconds(),
+		msg:        fmt.Sprintf("%s at capacity (%d inflight); retry after backoff", who, s.cfg.MaxInflight),
+	}
+}
+
+// reject emits the 429 backpressure response with the computed retry
+// hint.
 func (s *Server) reject(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
-	s.fail(w, http.StatusTooManyRequests, "server at capacity (%d inflight); retry after backoff", s.cfg.MaxInflight)
+	s.failAPI(w, s.overloaded())
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -220,11 +296,14 @@ type FactorizeResponse struct {
 	Tile        int         `json:"tile"`
 	Bytes       int64       `json:"bytes"`
 	Stats       FactorStats `json:"stats"`
+	// Shard names the fleet shard that did the work (absent standalone).
+	Shard *int `json:"shard,omitempty"`
 }
 
 func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
-	rt := obs.TraceFrom(r.Context())
 	s.factorReqs.Add(0, 1)
+	// Admission before decode: overload rejects without paying for a
+	// JSON parse.
 	if !s.adm.TryAcquire() {
 		s.reject(w)
 		return
@@ -234,24 +313,51 @@ func (s *Server) handleFactorize(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rt.Phase("queue", 0, rt.Now())
-	resolveStart := rt.Now()
-	f, cached, err := s.resolveFactor(r.Context(), req.Problem)
-	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
-	if err != nil {
-		s.failFactor(w, err)
+	resp, aerr := s.doFactorizeAdmitted(r.Context(), &req, "")
+	if aerr != nil {
+		s.failAPI(w, aerr)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// doFactorize is the fleet entry point: admission plus the admitted
+// path, with the shard's work recorded as a span on the router's
+// trace. fpHint carries the fingerprint the router already computed.
+func (s *Server) doFactorize(ctx context.Context, req *FactorizeRequest, fpHint string) (*FactorizeResponse, *apiError) {
+	rt := obs.TraceFrom(ctx)
+	start := rt.Now()
+	s.factorReqs.Add(0, 1)
+	if !s.adm.TryAcquire() {
+		return nil, s.overloaded()
+	}
+	defer s.adm.Release()
+	resp, aerr := s.doFactorizeAdmitted(ctx, req, fpHint)
+	rt.Span("shard.factorize", int32(s.id), start, rt.Now()-start, obs.SpanInfo{}, false)
+	return resp, aerr
+}
+
+// doFactorizeAdmitted resolves the factor once admission is held.
+func (s *Server) doFactorizeAdmitted(ctx context.Context, req *FactorizeRequest, fpHint string) (*FactorizeResponse, *apiError) {
+	rt := obs.TraceFrom(ctx)
+	rt.Phase("queue", 0, rt.Now())
+	resolveStart := rt.Now()
+	f, cached, err := s.resolveFactor(ctx, req.Problem, fpHint)
+	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
+	if err != nil {
+		return nil, factorAPIError(err)
+	}
+	defer f.Release()
 	rt.Tag("fp", fpPrefix(f.FP))
 	rt.Tag("cache", hitMiss(cached))
-	s.writeJSON(w, http.StatusOK, FactorizeResponse{
+	return &FactorizeResponse{
 		Fingerprint: f.FP,
 		Cached:      cached,
 		N:           f.Spec.N,
 		Tile:        f.Spec.Tile,
 		Bytes:       f.SizeBytes,
 		Stats:       f.FactorStats,
-	})
+	}, nil
 }
 
 // fpPrefix shortens a fingerprint for tags and log lines: enough to
@@ -270,31 +376,59 @@ func hitMiss(cached bool) string {
 	return "miss"
 }
 
-// failFactor maps resolution errors onto HTTP codes.
-func (s *Server) failFactor(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.fail(w, http.StatusGatewayTimeout, "factorization did not complete: %v", err)
-	default:
-		s.fail(w, http.StatusBadRequest, "%v", err)
+// factorAPIError maps resolution errors onto HTTP codes.
+func factorAPIError(err error) *apiError {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return apiErrorf(http.StatusGatewayTimeout, "factorization did not complete: %v", err)
 	}
+	return apiErrorf(http.StatusBadRequest, "%v", err)
 }
 
 // resolveFactor normalizes the spec, fingerprints it and gets-or-builds
-// the factor through the single-flight cache.
-func (s *Server) resolveFactor(ctx context.Context, sp ProblemSpec) (*Factor, bool, error) {
+// the factor through the single-flight cache. fpHint, when non-empty,
+// is the fingerprint the fleet router already computed for this spec —
+// it skips regenerating the geometry on the hot (cache-hit) path.
+// Replicated factors are checked first: a replica holder serves solves
+// locally without touching its own cache. The returned factor is
+// pinned for the caller (Release when the solve is done).
+func (s *Server) resolveFactor(ctx context.Context, sp ProblemSpec, fpHint string) (*Factor, bool, error) {
 	if err := sp.normalize(s.cfg.MaxN); err != nil {
 		return nil, false, err
 	}
-	pts := sp.points()
-	fp := Fingerprint(sp, pts)
+	fp := fpHint
+	var pts []rbf.Point
+	if fp == "" {
+		pts = sp.points()
+		if err := validatePoints(pts); err != nil {
+			return nil, false, err
+		}
+		fp = Fingerprint(sp, pts)
+	}
+	if f, ok := s.replicas.lookup(fp); ok {
+		return f, true, nil
+	}
 	// The requester that wins the single-flight donates its trace to
 	// the build: its /v1/trace shows compress/factorize/plan spans.
 	// Waiters see the build only as their "factor" phase duration.
 	rt := obs.TraceFrom(ctx)
 	return s.cache.Get(ctx, fp, func() (*Factor, error) {
+		if pts == nil {
+			pts = sp.points()
+			if err := validatePoints(pts); err != nil {
+				return nil, err
+			}
+		}
 		return s.buildFactor(rt, sp, pts, fp)
 	})
+}
+
+// lookupLocal returns a pinned factor this server can solve against
+// without building: its own cache, or its replica store.
+func (s *Server) lookupLocal(fp string) (*Factor, bool) {
+	if f, ok := s.cache.Lookup(fp); ok {
+		return f, true
+	}
+	return s.replicas.lookup(fp)
 }
 
 // buildFactor assembles, compresses and factorizes the problem. It
@@ -406,11 +540,14 @@ type SolveResponse struct {
 	// batch (equal to TraceID when this request led).
 	TraceID     string `json:"trace_id,omitempty"`
 	LeaderTrace string `json:"leader_trace,omitempty"`
+	// Shard names the fleet shard that served the solve (absent
+	// standalone); Replica reports whether it served from a replicated
+	// copy rather than its own cache.
+	Shard   *int `json:"shard,omitempty"`
+	Replica bool `json:"replica,omitempty"`
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	reqStart := time.Now()
-	rt := obs.TraceFrom(r.Context())
 	s.solveReqs.Add(0, 1)
 	if !s.adm.TryAcquire() {
 		s.reject(w)
@@ -421,6 +558,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	resp, aerr := s.doSolveAdmitted(r.Context(), &req, "")
+	if aerr != nil {
+		s.failAPI(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// doSolve is the fleet entry point: admission plus the admitted path,
+// with the shard's work recorded as a span on the router's trace.
+func (s *Server) doSolve(ctx context.Context, req *SolveRequest, fpHint string) (*SolveResponse, *apiError) {
+	rt := obs.TraceFrom(ctx)
+	start := rt.Now()
+	s.solveReqs.Add(0, 1)
+	if !s.adm.TryAcquire() {
+		return nil, s.overloaded()
+	}
+	defer s.adm.Release()
+	resp, aerr := s.doSolveAdmitted(ctx, req, fpHint)
+	rt.Span("shard.solve", int32(s.id), start, rt.Now()-start, obs.SpanInfo{}, false)
+	return resp, aerr
+}
+
+// doSolveAdmitted runs one solve with an admission slot already held.
+// The factor stays pinned from acquisition to the end of response
+// assembly, so concurrent eviction can drop it from the cache but
+// never free it mid-substitution.
+func (s *Server) doSolveAdmitted(ctx context.Context, req *SolveRequest, fpHint string) (resp *SolveResponse, aerr *apiError) {
+	reqStart := time.Now()
+	rt := obs.TraceFrom(ctx)
 
 	// Validate the cheap parts (spec, RHS shape) before paying for any
 	// factorization the request might trigger.
@@ -429,40 +596,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		cached bool
 		n      int
 	)
+	defer func() {
+		if f != nil {
+			f.Release()
+		}
+	}()
 	switch {
 	case req.Problem != nil:
 		if err := req.Problem.normalize(s.cfg.MaxN); err != nil {
-			s.fail(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, apiErrorf(http.StatusBadRequest, "%v", err)
 		}
 		n = req.Problem.N
 	case req.Fingerprint != "":
 		var ok bool
-		f, ok = s.cache.Lookup(req.Fingerprint)
+		f, ok = s.lookupLocal(req.Fingerprint)
 		if !ok {
-			s.fail(w, http.StatusNotFound, "no cached factor for fingerprint %q; send a problem spec", req.Fingerprint)
-			return
+			return nil, apiErrorf(http.StatusNotFound, "no cached factor for fingerprint %q; send a problem spec", req.Fingerprint)
 		}
 		cached = true
 		n = f.Spec.N
 	default:
-		s.fail(w, http.StatusBadRequest, "request must carry a problem spec or a fingerprint")
-		return
+		return nil, apiErrorf(http.StatusBadRequest, "request must carry a problem spec or a fingerprint")
 	}
-	cols, err := buildRHS(&req, n, s.cfg.MaxBatchCols)
+	cols, err := buildRHS(req, n, s.cfg.MaxBatchCols)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, apiErrorf(http.StatusBadRequest, "%v", err)
 	}
 	// Queue covers everything up to factor resolution: admission,
 	// decode, validation, RHS materialization.
 	rt.Phase("queue", 0, rt.Now())
 	resolveStart := rt.Now()
 	if f == nil {
-		f, cached, err = s.resolveFactor(r.Context(), *req.Problem)
+		f, cached, err = s.resolveFactor(ctx, *req.Problem, fpHint)
 		if err != nil {
-			s.failFactor(w, err)
-			return
+			return nil, factorAPIError(err)
 		}
 	}
 	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
@@ -480,17 +647,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		p.MaxIter, p.Target = 0, 0
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SolveTimeout)
+	sctx, cancel := context.WithTimeout(ctx, s.cfg.SolveTimeout)
 	defer cancel()
 	submitAt := rt.Now()
-	out := s.batcher.Solve(ctx, f, p, cols)
+	out := s.batcher.Solve(sctx, f, p, cols)
 	if out.err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
 			code = http.StatusGatewayTimeout
 		}
-		s.fail(w, code, "%v", out.err)
-		return
+		return nil, apiErrorf(code, "%v", out.err)
 	}
 	s.solveLatency.Observe(0, float64(time.Since(reqStart).Milliseconds()))
 	substMS := float64(out.subst) / float64(time.Millisecond)
@@ -512,7 +678,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.Tag("batch", strconv.Itoa(out.batchCols))
 
-	resp := SolveResponse{
+	resp = &SolveResponse{
 		Fingerprint: f.FP,
 		Cached:      cached,
 		Columns:     cols.Cols,
@@ -537,7 +703,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			resp.Solution[j] = col
 		}
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // buildRHS materializes the request's right-hand sides as an n×k
@@ -575,9 +741,12 @@ func buildRHS(req *SolveRequest, n, maxCols int) (*dense.Matrix, error) {
 // totals and the delta window since the previous stats scrape —
 // Snapshot/Delta semantics built for exactly this long-lived process.
 type StatsResponse struct {
-	UptimeSec float64           `json:"uptime_sec"`
-	Cache     CacheStats        `json:"cache"`
-	Admission AdmissionStats    `json:"admission"`
+	UptimeSec float64        `json:"uptime_sec"`
+	Cache     CacheStats     `json:"cache"`
+	Admission AdmissionStats `json:"admission"`
+	// Replica reports the factors this server holds as a fleet replica
+	// (zero-valued standalone).
+	Replica   ReplicaStats      `json:"replica"`
 	SolveOnly SolveLatencyStats `json:"solve_only"`
 	// Request covers end-to-end /v1/solve latency (queueing, batching
 	// and response overhead included) with a per-percentile breakdown;
@@ -590,7 +759,9 @@ type StatsResponse struct {
 	Window map[string]uint64 `json:"window"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsBody assembles the stats response (shared with fleet per-shard
+// reporting).
+func (s *Server) statsBody() StatsResponse {
 	snap := s.reg.Snapshot()
 	s.statsMu.Lock()
 	delta := snap.Delta(s.lastSnap)
@@ -604,16 +775,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		return out
 	}
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	return StatsResponse{
 		UptimeSec: time.Since(s.started).Seconds(),
 		Cache:     s.cache.Stats(),
 		Admission: s.adm.Stats(),
+		Replica:   s.replicas.stats(),
 		SolveOnly: s.solveOnly.Stats(),
-		Request:   s.reqLatency.Stats(),
-		Flight:    s.flight.Stats(),
+		Request:   s.tr.reqLatency.Stats(),
+		Flight:    s.tr.flight.Stats(),
 		Totals:    counterMap(snap),
 		Window:    counterMap(delta),
-	})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsBody())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

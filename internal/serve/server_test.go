@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -232,8 +233,16 @@ func TestServerBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("want 429, got %d: %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("429 must carry a Retry-After hint")
+	}
+	// The hint is computed from inflight pressure and recent solve
+	// latency (clamped to [1, 30] plus ±25% jitter), not hardcoded: it
+	// must parse as a small positive integer.
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 38 {
+		t.Fatalf("Retry-After must be a small positive integer of seconds, got %q", ra)
 	}
 	wg.Wait()
 	if heldStatus != http.StatusOK {

@@ -4,7 +4,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -13,11 +16,18 @@ import (
 
 // Request tracing middleware: every /v1/* request gets a trace id and
 // an obs.ReqTrace carried in its context. Handlers and the layers below
-// them (cache, batcher, solve-plan executor, factorization) record
-// spans and breakdown phases against it; when the response is written
-// the trace is sealed and filed in the flight recorder, where the
-// slowest and the errored requests stay addressable via /v1/trace/<id>
-// long after they completed.
+// them (router, cache, batcher, solve-plan executor, factorization)
+// record spans and breakdown phases against it; when the response is
+// written the trace is sealed and filed in the flight recorder, where
+// the slowest and the errored requests stay addressable via
+// /v1/trace/<id> long after they completed.
+//
+// The tracer bundles that per-process state — id minting, flight
+// retention, the end-to-end breakdown ring, the access log — so the
+// single-process Server and the fleet router share one implementation:
+// in fleet mode the router owns the tracer (one trace id covers the
+// router hop and the shard's work), and the per-shard Servers record
+// into the trace they find in the context.
 
 // traceIDs mints process-unique request ids: a random per-process
 // prefix (so ids from different server lives never collide in logs)
@@ -77,17 +87,44 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// tracer is the request-tracing front end shared by Server and Fleet.
+type tracer struct {
+	ids        *traceIDs
+	spanCap    int // 0 disables span detail
+	flight     *obs.FlightRecorder
+	reqLatency *breakdownRing
+	errs       *obs.Counter
+	accessLog  io.Writer
+	accessMu   sync.Mutex
+}
+
+// newTracer builds the tracing front end from the service config.
+func newTracer(cfg *Config, errs *obs.Counter) *tracer {
+	spanCap := cfg.TraceSpanCap
+	if cfg.DisableTracing {
+		spanCap = 0
+	}
+	return &tracer{
+		ids:        newTraceIDs(),
+		spanCap:    spanCap,
+		flight:     obs.NewFlightRecorder(cfg.FlightSlow, cfg.FlightRecent, cfg.FlightErrors),
+		reqLatency: newBreakdownRing(0),
+		errs:       errs,
+		accessLog:  cfg.AccessLog,
+	}
+}
+
 // traced wraps a handler with request tracing. detail selects span
 // recording and flight retention (the compute endpoints); lightweight
 // endpoints still get a trace id and an access-log line. The trace id
 // is exposed to the client as the X-Trace-Id response header before
 // the handler runs, so even a 429 rejection names a lookupable trace.
-func (s *Server) traced(endpoint string, detail bool, h http.HandlerFunc) http.HandlerFunc {
+func (t *tracer) traced(endpoint string, detail bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := s.ids.next()
+		id := t.ids.next()
 		spanCap := 0
-		if detail && !s.cfg.DisableTracing {
-			spanCap = s.cfg.TraceSpanCap
+		if detail {
+			spanCap = t.spanCap
 		}
 		rt := obs.NewReqTrace(id, endpoint, spanCap)
 		w.Header().Set("X-Trace-Id", id)
@@ -104,12 +141,12 @@ func (s *Server) traced(endpoint string, detail bool, h http.HandlerFunc) http.H
 
 		bd := breakdownOf(rt)
 		if detail {
-			s.flight.Record(rt)
+			t.flight.Record(rt)
 			if endpoint == "/v1/solve" && sw.status == http.StatusOK {
-				s.reqLatency.Record(bd)
+				t.reqLatency.Record(bd)
 			}
 		}
-		s.accessLog(rt, bd)
+		t.accessLogLine(rt, bd)
 	}
 }
 
@@ -169,6 +206,7 @@ type accessRecord struct {
 	FP       string  `json:"fp,omitempty"`
 	Cache    string  `json:"cache,omitempty"`
 	Batch    string  `json:"batch,omitempty"`
+	Shard    string  `json:"shard,omitempty"`
 	Error    string  `json:"error,omitempty"`
 
 	QueueMS     float64 `json:"queue_ms"`
@@ -180,10 +218,11 @@ type accessRecord struct {
 	OtherMS     float64 `json:"other_ms"`
 }
 
-// accessLog emits one JSON line per completed request when configured.
-// The mutex serializes whole lines; the marshal happens outside it.
-func (s *Server) accessLog(rt *obs.ReqTrace, bd BreakdownMS) {
-	if s.cfg.AccessLog == nil || rt == nil {
+// accessLogLine emits one JSON line per completed request when
+// configured. The mutex serializes whole lines; the marshal happens
+// outside it.
+func (t *tracer) accessLogLine(rt *obs.ReqTrace, bd BreakdownMS) {
+	if t.accessLog == nil || rt == nil {
 		return
 	}
 	rec := accessRecord{
@@ -195,6 +234,7 @@ func (s *Server) accessLog(rt *obs.ReqTrace, bd BreakdownMS) {
 		FP:          rt.TagVal("fp"),
 		Cache:       rt.TagVal("cache"),
 		Batch:       rt.TagVal("batch"),
+		Shard:       rt.TagVal("shard"),
 		Error:       rt.Err,
 		QueueMS:     bd.QueueMS,
 		FactorMS:    bd.FactorMS,
@@ -209,19 +249,20 @@ func (s *Server) accessLog(rt *obs.ReqTrace, bd BreakdownMS) {
 		return
 	}
 	line = append(line, '\n')
-	s.accessMu.Lock()
-	s.cfg.AccessLog.Write(line)
-	s.accessMu.Unlock()
+	t.accessMu.Lock()
+	t.accessLog.Write(line)
+	t.accessMu.Unlock()
 }
 
 // handleTrace exports one retained trace as Chrome trace-event JSON
 // (open in ui.perfetto.dev or chrome://tracing). 404 means the id was
 // never issued or has aged out of every retention policy.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (t *tracer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rt, ok := s.flight.Lookup(id)
+	rt, ok := t.flight.Lookup(id)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "no retained trace %q (it may have aged out; only the slowest and errored requests are kept)", id)
+		failJSON(w, t.errs, http.StatusNotFound,
+			"no retained trace %q (it may have aged out; only the slowest and errored requests are kept)", id)
 		return
 	}
 	bd := breakdownOf(rt)
@@ -236,11 +277,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if rt.Err != "" {
 		meta["error"] = rt.Err
 	}
-	for _, t := range rt.Tags {
-		meta["tag."+t.Key] = t.Val
+	for _, tag := range rt.Tags {
+		meta["tag."+tag.Key] = tag.Val
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := obs.WriteChromeTrace(w, rt.Events(), meta); err != nil {
-		s.httpErrors.Add(0, 1)
+		t.errs.Add(0, 1)
 	}
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// failJSON writes the uniform error envelope and counts the error.
+func failJSON(w http.ResponseWriter, errs *obs.Counter, code int, format string, args ...any) {
+	errs.Add(0, 1)
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }

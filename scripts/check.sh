@@ -151,6 +151,55 @@ grep -q 'slowest request: trace ' "$serve_log" || {
 grep -q 'valid Chrome/Perfetto trace' "$serve_log" || {
     echo "check.sh: loadgen did not validate the slowest trace" >&2; cat "$serve_log" >&2; exit 1; }
 
+echo "== fleet gate"
+# A 3-shard fleet on a random port must run exactly one factorization
+# fleet-wide for 8 concurrent solves against the same problem (owner
+# routing + per-shard single-flight, asserted by summing the
+# shardN.serve.factorize.runs counters from the merged /metrics
+# scrape), and /v1/stats must answer with the fleet view (per-shard
+# rows + the single-flight rollup). A skewed multi-tenant loadgen
+# burst through a 3-shard fleet must then report per-shard load skew
+# and fleet-wide router/replication counters.
+: > "$serve_log"
+/tmp/tlrserve-check -addr 127.0.0.1:0 -shards 3 -batch-window 50ms > "$serve_log" 2>&1 &
+serve_pid=$!
+base=""
+for _ in $(seq 50); do
+    base="$(sed -n 's|^tlrserve listening on \(http://[0-9.:]*\).*|\1|p' "$serve_log")"
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "check.sh: fleet tlrserve did not start"; cat "$serve_log" >&2; exit 1; }
+pids=()
+for i in $(seq 8); do
+    curl -sf -o /dev/null -X POST -d "${solve_req/SEED/$i}" "$base/v1/solve" &
+    pids+=($!)
+done
+for p in "${pids[@]}"; do
+    wait "$p" || { echo "check.sh: concurrent fleet solve request failed" >&2; exit 1; }
+done
+fleet_runs="$(curl -sf "$base/metrics" | awk '$1 ~ /^shard[0-9]+\.serve\.factorize\.runs$/ {s += $2} END {print s+0}')"
+[ "$fleet_runs" = "1" ] || {
+    echo "check.sh: expected exactly 1 factorization fleet-wide for 8 concurrent solves, got '$fleet_runs'" >&2; exit 1; }
+fleet_stats="$(curl -sf "$base/v1/stats")"
+echo "$fleet_stats" | grep -q '"single_flight"' || {
+    echo "check.sh: fleet /v1/stats lacks the single_flight rollup" >&2; exit 1; }
+echo "$fleet_stats" | grep -q '"shards"' || {
+    echo "check.sh: fleet /v1/stats lacks per-shard rows" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "check.sh: fleet tlrserve exited non-zero on SIGTERM" >&2; exit 1; }
+/tmp/tlrserve-check -loadgen -shards 3 -problems 8 -zipf 1.4 -factorize-frac 0.05 \
+    -n 384 -tile 64 -duration 2s -rate 40 > "$serve_log" 2>&1 || {
+    echo "check.sh: fleet loadgen run failed" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q 'load skew: hottest shard' "$serve_log" || {
+    echo "check.sh: fleet loadgen did not report per-shard load skew" >&2; cat "$serve_log" >&2; exit 1; }
+grep -Eq '^  shard [0-9]+' "$serve_log" || {
+    echo "check.sh: fleet loadgen did not report per-shard lines" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q '^router: ' "$serve_log" || {
+    echo "check.sh: fleet loadgen did not report router counters" >&2; cat "$serve_log" >&2; exit 1; }
+grep -q '^replication: ' "$serve_log" || {
+    echo "check.sh: fleet loadgen did not report replication counters" >&2; cat "$serve_log" >&2; exit 1; }
+
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
 
