@@ -404,3 +404,67 @@ func BenchmarkSolveLatency(b *testing.B) {
 		}
 	}
 }
+
+// Compressor benchmarks: the deterministic chain vs blocked ARA on the
+// same tile column of a real RBF operator. ARA's advantage is that one
+// sampling GEMM serves the whole column; the per-block SVD chain pays
+// its O(b³) per tile. Both report allocs/op — ARA must stay at zero in
+// steady state (the arena high-water mark is reached on the first
+// iteration).
+func benchCompressorColumn(b *testing.B) []*dense.Matrix {
+	b.Helper()
+	const n, tile = 1024, 256
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(n))[:n]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts), Nugget: 1e-4})
+	blocks := make([]*dense.Matrix, 0, n/tile-1)
+	for i := tile; i < n; i += tile {
+		blocks = append(blocks, prob.Block(i, i+tile, 0, tile))
+	}
+	return blocks
+}
+
+func BenchmarkCompressSVD(b *testing.B) {
+	blocks := benchCompressorColumn(b)
+	out := make([]*tlr.Tile, len(blocks))
+	comp := tlr.SVDCompressor{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := dense.GetWorkspace()
+		for j, blk := range blocks {
+			out[j] = comp.CompressWS(blk, 1e-6, 0, ws)
+		}
+		ws.Release()
+	}
+}
+
+func BenchmarkCompressARA(b *testing.B) {
+	blocks := benchCompressorColumn(b)
+	out := make([]*tlr.Tile, len(blocks))
+	comp := tlr.ARACompressor{Seed: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := dense.GetWorkspace()
+		comp.CompressColumnWS(0, blocks, 1e-6, 0, ws, out)
+		ws.Release()
+	}
+}
+
+// BenchmarkFactorizeLDLt mirrors BenchmarkFactorizeRBF with the signed
+// factorization on the same SPD operator, so the snapshot tracks the
+// overhead of the D-weighted task kernels against plain Cholesky.
+func BenchmarkFactorizeLDLt(b *testing.B) {
+	pts := rbf.VirusPopulation(rbf.DefaultVirusConfig(1024))[:1024]
+	prob, _ := rbf.NewProblem(pts, rbf.Gaussian{Delta: 2 * rbf.DefaultShape(pts), Nugget: 1e-4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, _ := tilemat.FromAssembler(1024, 128, prob.Block, 1e-6, 0)
+		b.StartTimer()
+		if _, err := core.FactorizeLDLt(m, core.Options{Tol: 1e-6, Trim: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

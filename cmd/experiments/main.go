@@ -62,5 +62,6 @@ func main() {
 	run("13", "Fig 13", func() (tabler, error) { return experiments.Fig13(*scale), nil })
 	run("14", "Fig 14", func() (tabler, error) { return experiments.Fig14(*scale), nil })
 	run("ablation", "Ablation", func() (tabler, error) { return experiments.Ablation(*scale), nil })
+	run("augmented", "Augmented", func() (tabler, error) { return experiments.Augmented(*scale) })
 	run("validation", "Validation", func() (tabler, error) { return experiments.Validation(*scale) })
 }

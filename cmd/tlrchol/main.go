@@ -24,8 +24,10 @@ import (
 	"tlrchol/internal/obs"
 	"tlrchol/internal/ranks"
 	"tlrchol/internal/rbf"
+	"tlrchol/internal/runtime"
 	"tlrchol/internal/sim"
 	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
 	"tlrchol/internal/trace"
 	sverify "tlrchol/internal/verify"
 )
@@ -68,6 +70,10 @@ func main() {
 	nodes := flag.Int("nodes", 0, "virtual cluster nodes for distributed execution (0 = shared memory)")
 	distName := flag.String("dist", "2dbc", "distribution for -nodes: 2dbc, lorapo, band or diamond")
 	solveK := flag.Int("solve", 0, "after factorizing, solve this many random RHS in one blocked solve and report residuals (works without -verify's dense operator)")
+	compress := flag.String("compress", "svd", "tile compressor: svd (deterministic) or ara (blocked adaptive randomized approximation)")
+	araBS := flag.Int("ara-bs", 0, "ara sampling block size (0 = compressor default; requires -compress ara)")
+	factorKind := flag.String("factor", "chol", "factorization: chol (SPD only) or ldlt (signed, symmetric indefinite)")
+	augmented := flag.Bool("augmented", false, "factor the polynomial-augmented saddle-point system [K P; P^T 0] (indefinite; requires -factor ldlt)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -97,6 +103,32 @@ func main() {
 	}
 	if *solveK < 0 {
 		fail("-solve must be ≥ 0, got %d", *solveK)
+	}
+	switch *compress {
+	case "svd", "ara":
+	default:
+		fail("unknown -compress %q (want svd or ara)", *compress)
+	}
+	if *araBS < 0 {
+		fail("-ara-bs must be ≥ 0, got %d", *araBS)
+	}
+	if *araBS > 0 && *compress != "ara" {
+		fail("-ara-bs requires -compress ara")
+	}
+	switch *factorKind {
+	case "chol", "ldlt":
+	default:
+		fail("unknown -factor %q (want chol or ldlt)", *factorKind)
+	}
+	ldlt := *factorKind == "ldlt"
+	if *augmented && !ldlt {
+		fail("-augmented builds an indefinite saddle-point system; it requires -factor ldlt")
+	}
+	if ldlt && *nested > 0 {
+		fail("-nested is not supported with -factor ldlt")
+	}
+	if ldlt && *nodes > 0 {
+		fail("-factor ldlt is not supported under -nodes (distributed execution factors Cholesky only)")
 	}
 	if *nodes > 0 {
 		if _, err := distRemap(*distName, *nodes); err != nil {
@@ -136,8 +168,22 @@ func main() {
 	prob, _ := rbf.NewProblem(pts, kernel)
 	fmt.Printf("kernel %s, shape parameter delta=%.3e, tol=%.0e\n", *kernelName, delta, *tol)
 
+	// The augmented system appends the 4 polynomial constraint rows, so
+	// the factored operator is slightly larger than the point count.
+	dim := *n
+	asm := tilemat.Assembler(prob.Block)
+	if *augmented {
+		dim = prob.AugmentedDim()
+		asm = prob.AugmentedBlock
+		fmt.Printf("augmented saddle-point system: dim=%d (%d points + 4 polynomial constraints)\n", dim, *n)
+	}
+	comp, cerr := tlr.CompressorFor(*compress, *araBS, 42)
+	if cerr != nil {
+		fail("%v", cerr)
+	}
+
 	start := time.Now()
-	m, st := tilemat.FromAssembler(*n, *b, prob.Block, *tol, 0)
+	m, st := tilemat.FromAssemblerComp(dim, *b, asm, *tol, 0, comp)
 	compT := time.Since(start)
 	stats := m.Stats()
 	fmt.Printf("compression: %v  (dense %.1f MB -> TLR %.1f MB, %.1fx)\n",
@@ -164,7 +210,12 @@ func main() {
 		if *trim {
 			fs = append(fs, sverify.CheckTrim(s, core.Ranks(m))...)
 		}
-		g := core.BuildGraph(m, s, core.Options{Tol: *tol, NestedDiag: *nested})
+		var g *runtime.Graph
+		if ldlt {
+			g = core.BuildGraphLDLt(m, s, core.Options{Tol: *tol})
+		} else {
+			g = core.BuildGraph(m, s, core.Options{Tol: *tol, NestedDiag: *nested})
+		}
 		fs = append(fs, sverify.CheckGraph(g)...)
 		for _, f := range fs {
 			fmt.Fprintf(os.Stderr, "static check: %v\n", f)
@@ -182,7 +233,11 @@ func main() {
 
 	var ref *dense.Matrix
 	if *verify {
-		ref = prob.Dense()
+		if *augmented {
+			ref = prob.AugmentedBlock(0, dim, 0, dim)
+		} else {
+			ref = prob.Dense()
+		}
 	}
 	var tr *obs.Tracer
 	if *traceOut != "" {
@@ -233,18 +288,25 @@ func main() {
 		rep.TasksExecuted = drep.Cluster.Executed
 		rep.TasksTrimmed = drep.TasksTrimmed
 	} else {
-		rep, err = core.Factorize(m, core.Options{
+		opts := core.Options{
 			Tol: *tol, Trim: *trim, Workers: *workers, Sequential: *seq,
 			NestedDiag: *nested, CollectTrace: *showTrace && !*seq,
 			Tracer: tr, CritPath: (*showTrace || *traceOut != "") && !*seq,
-		})
+		}
+		diagClass := "potrf"
+		if ldlt {
+			rep, err = core.FactorizeLDLt(m, opts)
+			diagClass = "sytrf"
+		} else {
+			rep, err = core.Factorize(m, opts)
+		}
 		obs.Deactivate()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "factorization failed: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("factorization: %v  tasks potrf/trsm/syrk/gemm = %d/%d/%d/%d\n",
-			rep.Elapsed.Round(time.Millisecond), rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm)
+		fmt.Printf("factorization: %v  tasks %s/trsm/syrk/gemm = %d/%d/%d/%d\n",
+			rep.Elapsed.Round(time.Millisecond), diagClass, rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm)
 		if *trim {
 			fmt.Printf("trimming analysis: %v, %.1f KB\n",
 				rep.Analysis.Round(time.Microsecond), float64(rep.AnalysisBytes)/1e3)
@@ -305,9 +367,16 @@ func main() {
 		fmt.Print(obs.Default.Snapshot().String())
 	}
 	if *verify {
-		fmt.Printf("factor error |LL^T - A|/|A| = %.3e\n", core.FactorError(m, ref))
-		// Solve a random deformation system and report the residual.
-		rhs := dense.NewMatrix(*n, 3)
+		if ldlt {
+			fmt.Printf("factor error |LDL^T - A|/|A| = %.3e\n", core.FactorErrorLDLt(m, ref))
+		} else {
+			fmt.Printf("factor error |LL^T - A|/|A| = %.3e\n", core.FactorError(m, ref))
+		}
+		// Solve a deformation system and report the residual. Under
+		// -augmented the constraint rows of b are zero: the right-hand
+		// side is pure data, the trailing 4 solution rows are the
+		// polynomial coefficients.
+		rhs := dense.NewMatrix(dim, 3)
 		for i := 0; i < *n; i++ {
 			rhs.Set(i, 0, math.Sin(float64(i)))
 			rhs.Set(i, 1, 0.5)
@@ -319,7 +388,7 @@ func main() {
 	}
 	if *solveK > 0 {
 		rng := rand.New(rand.NewSource(7))
-		rhs := dense.Random(rng, *n, *solveK)
+		rhs := dense.Random(rng, dim, *solveK)
 		x := rhs.Clone()
 		planStart := time.Now()
 		plan := core.BuildSolvePlan(m)

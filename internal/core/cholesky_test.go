@@ -305,7 +305,7 @@ func TestInstrumentationSequentialMatchesParallel(t *testing.T) {
 			c2[c.Name] = c.Value
 		}
 	}
-	if len(c1) != 4 || !maps.Equal(c1, c2) {
+	if len(c1) != nClass || !maps.Equal(c1, c2) {
 		t.Fatalf("task counters diverge: %v vs %v", c1, c2)
 	}
 	if r1.TasksExecuted != r2.TasksExecuted {

@@ -12,10 +12,16 @@ const (
 	cTrsm
 	cSyrk
 	cGemm
+	// LDLᵀ task classes: the diagonal sytrf and the D-weighted variants
+	// of the panel solve and trailing updates.
+	cSytrf
+	cTrsmD
+	cSyrkD
+	cGemmD
 	nClass
 )
 
-var classNames = [nClass]string{"potrf", "trsm", "syrk", "gemm"}
+var classNames = [nClass]string{"potrf", "trsm", "syrk", "gemm", "sytrf", "trsm_d", "syrk_d", "gemm_d"}
 
 // instr bundles the metric handles one factorization records into. The
 // handles are resolved from the registry once at setup; every hot-path
@@ -141,6 +147,77 @@ func (in *instr) gemm(shard, ka, kb, kc int, out *tlr.Tile, info *obs.SpanInfo) 
 		}
 	}
 	in.record(cGemm, shard, effF, dnsF)
+	if info != nil {
+		info.RankIn, info.RankOut = int32(kc), int32(out.Rank())
+		info.Flops = effF
+	}
+}
+
+// sytrf records a diagonal-tile LDLᵀ: dense, effective == dense.
+func (in *instr) sytrf(shard, b int, info *obs.SpanInfo) {
+	f := flops.Sytrf(b)
+	in.record(cSytrf, shard, f, f)
+	if info != nil {
+		info.RankIn, info.RankOut = int32(b), int32(b)
+		info.Flops = f
+	}
+}
+
+// trsmD records an LDLᵀ panel solve (TRSM + D⁻¹ scale) against tile t.
+func (in *instr) trsmD(shard int, t *tlr.Tile, info *obs.SpanInfo) {
+	b := t.Rows
+	dnsF := flops.TrsmLDLtDense(b)
+	var effF float64
+	switch t.Kind {
+	case tlr.Dense:
+		effF = dnsF
+	case tlr.LowRank:
+		effF = flops.TrsmLDLtLR(b, t.Rank())
+	}
+	in.record(cTrsmD, shard, effF, dnsF)
+	if info != nil {
+		r := int32(t.Rank())
+		info.RankIn, info.RankOut = r, r
+		info.Flops = effF
+	}
+}
+
+// syrkD records a D-weighted diagonal update from panel tile a.
+func (in *instr) syrkD(shard int, a *tlr.Tile, info *obs.SpanInfo) {
+	b := a.Rows
+	dnsF := flops.SyrkDDense(b)
+	var effF float64
+	switch a.Kind {
+	case tlr.Dense:
+		effF = dnsF
+	case tlr.LowRank:
+		effF = flops.SyrkDLR(b, a.Rank())
+	}
+	in.record(cSyrkD, shard, effF, dnsF)
+	if info != nil {
+		r := int32(a.Rank())
+		info.RankIn, info.RankOut = r, r
+		info.Flops = effF
+	}
+}
+
+// gemmD records the D-weighted update C ← C − A·D·Bᵀ; the rank and
+// fill-in bookkeeping matches the Cholesky gemm.
+func (in *instr) gemmD(shard, ka, kb, kc int, out *tlr.Tile, info *obs.SpanInfo) {
+	b := out.Rows
+	dnsF := flops.GemmDense(b)
+	var effF float64
+	if ka > 0 && kb > 0 {
+		effF = flops.GemmDLR(b, ka, kb, kc)
+		in.rankH.Observe(shard, float64(out.Rank()))
+		if kc == 0 && out.Rank() > 0 {
+			in.fillin.Add(shard, 1)
+			if tr := obs.Active(); tr != nil {
+				tr.Instant("fill_in", int32(shard), float64(out.Rank()))
+			}
+		}
+	}
+	in.record(cGemmD, shard, effF, dnsF)
 	if info != nil {
 		info.RankIn, info.RankOut = int32(kc), int32(out.Rank())
 		info.Flops = effF

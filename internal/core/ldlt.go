@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tlrchol/internal/dense"
+	"tlrchol/internal/obs"
+	"tlrchol/internal/runtime"
+	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
+	"tlrchol/internal/trim"
+)
+
+// FactorizeLDLt computes the TLR LDLᵀ factorization A = L·D·Lᵀ in
+// place, the Bunch–Kaufman-free signed variant for symmetric indefinite
+// operators: on return each diagonal tile packs its unit-lower L in the
+// strict lower triangle and its block of the diagonal matrix D on the
+// diagonal (dense.Ldlt layout), off-diagonal tiles hold the solved
+// panels, and m.Form is FormLDLt so the solve paths dispatch to the
+// forward-L / D-scale / backward-Lᵀ substitution.
+//
+// No pivoting is performed, so the factorization exists iff every
+// leading principal minor is nonzero. That covers the workload this
+// opens up — quasi-definite augmented RBF systems [K P; Pᵀ 0] with the
+// definite block ordered first — as well as everything Cholesky
+// handles (on an SPD operator D comes out positive and L·√D is the
+// Cholesky factor). The task shapes, the DAG (and its trimming — the
+// analysis is rank-structural, identical for both factorizations), the
+// priorities and the hazard declarations all match Factorize; only the
+// kernels differ by the diagonal weight.
+func FactorizeLDLt(m *tilemat.Matrix, opts Options) (Report, error) {
+	if opts.Tol <= 0 {
+		return Report{}, fmt.Errorf("core: Options.Tol must be positive, got %g", opts.Tol)
+	}
+	if opts.NestedDiag > 0 {
+		return Report{}, fmt.Errorf("core: NestedDiag is not supported with LDLt")
+	}
+	var rep Report
+	var structure trim.Structure
+	rt := obs.TraceFrom(opts.Context)
+	if opts.Trim {
+		t0 := rt.Now()
+		a := trim.Analyze(rankArray{m}, trim.AllLocal)
+		rt.Span("factor.analyze", -1, t0, rt.Now()-t0, obs.SpanInfo{}, false)
+		rep.Analysis = a.AnalysisTime
+		rep.AnalysisBytes = a.AnalysisBytes
+		structure = a
+	} else {
+		structure = trim.Full{Nt: m.NT}
+	}
+	// Report.Potrf counts diagonal factorizations of either kind; the
+	// task-class split lives in the metrics registry (tasks.sytrf, …).
+	rep.Potrf, rep.Trsm, rep.Syrk, rep.Gemm = trim.TaskCounts(structure)
+	fp, ft, fs, fg := trim.TaskCounts(trim.Full{Nt: m.NT})
+	rep.TasksTrimmed = (fp + ft + fs + fg) - (rep.Potrf + rep.Trsm + rep.Syrk + rep.Gemm)
+
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default
+	}
+	rep.Metrics = opts.Metrics
+	in := newInstr(opts.Metrics)
+	effBefore, dnsBefore := in.flopTotals()
+
+	start := time.Now()
+	runStart := rt.Now()
+	var err error
+	if opts.Sequential {
+		err = factorizeLDLtSequential(m, structure, opts, in)
+		rep.TasksExecuted = rep.Potrf + rep.Trsm + rep.Syrk + rep.Gemm
+	} else {
+		g := BuildGraphLDLt(m, structure, opts)
+		rep.Runtime, err = g.Run(opts.Workers)
+		rep.TasksExecuted = rep.Runtime.Executed
+		if opts.CollectTrace {
+			rep.Trace = g.Trace()
+		}
+		if opts.CritPath {
+			if nodes := g.PathNodes(); len(nodes) > 0 {
+				pr := obs.CriticalPath(nodes)
+				rep.CritPath = &pr
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	effAfter, dnsAfter := in.flopTotals()
+	rep.EffFlops, rep.DenseFlops = effAfter-effBefore, dnsAfter-dnsBefore
+	rt.Span("factor.run", -1, runStart, rt.Now()-runStart, obs.SpanInfo{Flops: rep.EffFlops}, rep.EffFlops > 0)
+	if err != nil {
+		return rep, err
+	}
+	m.Form = tilemat.FormLDLt
+	rep.FinalDensity = m.Stats().Density
+	return rep, nil
+}
+
+// factorizeLDLtSequential is the loop-order reference implementation.
+func factorizeLDLtSequential(m *tilemat.Matrix, s trim.Structure, opts Options, in *instr) error {
+	nt := m.NT
+	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
+	for k := 0; k < nt; k++ {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return err
+			}
+		}
+		if err := dense.Ldlt(m.At(k, k).D); err != nil {
+			return fmt.Errorf("core: SYTRF(%d): %w", k, err)
+		}
+		in.sytrf(0, m.At(k, k).D.Rows, nil)
+		ld := m.At(k, k).D
+		nb := s.NbTrsm(k)
+		for i := 0; i < nb; i++ {
+			t := m.At(s.TrsmAt(k, i), k)
+			tlr.TrsmLDLt(ld, t)
+			in.trsmD(0, t, nil)
+		}
+		for i := 0; i < nb; i++ {
+			mi := s.TrsmAt(k, i)
+			tlr.SyrkLDLt(m.At(mi, k), ld, m.At(mi, mi).D)
+			in.syrkD(0, m.At(mi, k), nil)
+			for j := 0; j < i; j++ {
+				ni := s.TrsmAt(k, j)
+				ka, kb, kc := m.At(mi, k).Rank(), m.At(ni, k).Rank(), m.At(mi, ni).Rank()
+				out := tlr.GemmLDLt(m.At(mi, k), m.At(ni, k), ld, m.At(mi, ni), cfg)
+				m.Set(mi, ni, out)
+				in.gemmD(0, ka, kb, kc, out, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildGraphLDLt unrolls the LDLᵀ task graph without running it. The
+// edge pattern matches BuildGraph exactly; the D-weighted trailing
+// updates additionally read the factored diagonal tile (k,k), declared
+// for the hazard-replay verifier — the read is covered by the
+// sytrf(k) → trsm → update path, and nothing writes (k,k) after its
+// sytrf, so the Cholesky edge set already serializes it.
+func BuildGraphLDLt(m *tilemat.Matrix, s trim.Structure, opts Options) *runtime.Graph {
+	nt := m.NT
+	g := runtime.NewGraph()
+	g.Observe(opts.Tracer)
+	traced := opts.Tracer != nil
+	ctxErr := func() error {
+		if opts.Context == nil {
+			return nil
+		}
+		return opts.Context.Err()
+	}
+	in := newInstr(opts.Metrics)
+	cfg := tlr.GemmConfig{Tol: opts.Tol, MaxRank: opts.MaxRank}
+
+	type tileKey struct{ m, n int }
+	lastWriter := make(map[tileKey]*runtime.Task)
+	trsmT := make(map[tileKey]*runtime.Task)
+
+	base := int64(nt+2) << 22
+	potrfPrio := func(k int) int64 { return base - int64(k)<<22 }
+	trsmPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 1 }
+	syrkPrio := func(k, mm int) int64 { return base - int64(k)<<22 - int64(mm-k)<<8 - 2 }
+	gemmPrio := func(k, mm, nn int) int64 {
+		return base - int64(k)<<22 - int64(mm-nn)<<8 - 3
+	}
+
+	for k := 0; k < nt; k++ {
+		k := k
+		pt := g.NewTask(fmt.Sprintf("sytrf(%d)", k), potrfPrio(k), nil)
+		pt.Info = spanInfo(traced, k, k, k)
+		ptc := pt
+		pt.Run = func() error {
+			if err := ctxErr(); err != nil {
+				return err
+			}
+			if err := dense.Ldlt(m.At(k, k).D); err != nil {
+				return err
+			}
+			in.sytrf(ptc.Worker(), m.At(k, k).D.Rows, ptc.Info)
+			return nil
+		}
+		if lw := lastWriter[tileKey{k, k}]; lw != nil {
+			g.AddDep(lw, pt)
+		}
+		pt.DeclareAccesses(runtime.W(tileKey{k, k}))
+		lastWriter[tileKey{k, k}] = pt
+
+		nb := s.NbTrsm(k)
+		for i := 0; i < nb; i++ {
+			mi := s.TrsmAt(k, i)
+			tt := g.NewTask(fmt.Sprintf("trsm(%d,%d)", k, mi), trsmPrio(k, mi), nil)
+			tt.Info = spanInfo(traced, k, mi, k)
+			ttc := tt
+			tt.Run = func() error {
+				if err := ctxErr(); err != nil {
+					return err
+				}
+				tlr.TrsmLDLt(m.At(k, k).D, m.At(mi, k))
+				in.trsmD(ttc.Worker(), m.At(mi, k), ttc.Info)
+				return nil
+			}
+			tt.DeclareAccesses(runtime.R(tileKey{k, k}), runtime.W(tileKey{mi, k}))
+			g.AddDep(pt, tt)
+			if lw := lastWriter[tileKey{mi, k}]; lw != nil {
+				g.AddDep(lw, tt)
+			}
+			lastWriter[tileKey{mi, k}] = tt
+			trsmT[tileKey{mi, k}] = tt
+
+			st := g.NewTask(fmt.Sprintf("syrk(%d,%d)", k, mi), syrkPrio(k, mi), nil)
+			st.Info = spanInfo(traced, k, mi, mi)
+			stc := st
+			st.Run = func() error {
+				if err := ctxErr(); err != nil {
+					return err
+				}
+				tlr.SyrkLDLt(m.At(mi, k), m.At(k, k).D, m.At(mi, mi).D)
+				in.syrkD(stc.Worker(), m.At(mi, k), stc.Info)
+				return nil
+			}
+			st.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.R(tileKey{k, k}),
+				runtime.W(tileKey{mi, mi}))
+			g.AddDep(tt, st)
+			if lw := lastWriter[tileKey{mi, mi}]; lw != nil {
+				g.AddDep(lw, st)
+			}
+			lastWriter[tileKey{mi, mi}] = st
+
+			for j := 0; j < i; j++ {
+				ni := s.TrsmAt(k, j)
+				gt := g.NewTask(fmt.Sprintf("gemm(%d,%d,%d)", k, mi, ni), gemmPrio(k, mi, ni), nil)
+				gt.Info = spanInfo(traced, k, mi, ni)
+				gtc := gt
+				gt.Run = func() error {
+					if err := ctxErr(); err != nil {
+						return err
+					}
+					ka, kb, kc := m.At(mi, k).Rank(), m.At(ni, k).Rank(), m.At(mi, ni).Rank()
+					out := tlr.GemmLDLt(m.At(mi, k), m.At(ni, k), m.At(k, k).D, m.At(mi, ni), cfg)
+					m.Set(mi, ni, out)
+					in.gemmD(gtc.Worker(), ka, kb, kc, out, gtc.Info)
+					return nil
+				}
+				gt.DeclareAccesses(runtime.R(tileKey{mi, k}), runtime.R(tileKey{ni, k}),
+					runtime.R(tileKey{k, k}), runtime.W(tileKey{mi, ni}))
+				g.AddDep(tt, gt)
+				g.AddDep(trsmT[tileKey{ni, k}], gt)
+				if lw := lastWriter[tileKey{mi, ni}]; lw != nil {
+					g.AddDep(lw, gt)
+				}
+				lastWriter[tileKey{mi, ni}] = gt
+			}
+		}
+	}
+	return g
+}

@@ -76,7 +76,9 @@ func SolveSequentialCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix)
 		return b.View(f.RowStart(i), 0, f.TileRows(i), nrhs)
 	}
 	nt := f.NT
-	// Forward: L·y = b.
+	ldlt := f.Form == tilemat.FormLDLt
+	// Forward: L·y = b (LDLᵀ: with the unit-lower L — every later row's
+	// apply reads the unscaled y_j, so D must wait for the sweep to end).
 	for i := 0; i < nt; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -85,9 +87,13 @@ func SolveSequentialCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix)
 		for j := 0; j < i; j++ {
 			tileMulAcc(f.At(i, j), false, -1, seg(j), bi, ws)
 		}
-		dense.TrsmDet(dense.Lower, dense.NoTrans, dense.NonUnit, f.At(i, i).D, bi)
+		solveDiag(f.At(i, i).D, bi, false, ldlt)
 	}
-	// Backward: Lᵀ·x = y.
+	// LDLᵀ: z = D⁻¹·y between the sweeps (see ldltScale).
+	if ldlt {
+		ldltScale(f, b)
+	}
+	// Backward: Lᵀ·x = y (LDLᵀ: Lᵀ·x = z).
 	for i := nt - 1; i >= 0; i-- {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -96,9 +102,47 @@ func SolveSequentialCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Matrix)
 		for mIdx := i + 1; mIdx < nt; mIdx++ {
 			tileMulAcc(f.At(mIdx, i), true, -1, seg(mIdx), bi, ws)
 		}
-		dense.TrsmDet(dense.Lower, dense.Trans, dense.NonUnit, f.At(i, i).D, bi)
+		solveDiag(f.At(i, i).D, bi, true, ldlt)
 	}
 	return nil
+}
+
+// solveDiag runs one diagonal-tile substitution step: the non-unit
+// triangular solve for a Cholesky factor, the unit-diagonal solve with
+// the packed unit-lower L for an LDLᵀ factor (the diagonal entries of
+// an LDLᵀ tile hold D, not L, so the solve must skip them).
+func solveDiag(d *dense.Matrix, bi *dense.Matrix, backward, ldlt bool) {
+	diag := dense.NonUnit
+	if ldlt {
+		diag = dense.Unit
+	}
+	if backward {
+		dense.TrsmDet(dense.Lower, dense.Trans, diag, d, bi)
+	} else {
+		dense.TrsmDet(dense.Lower, dense.NoTrans, diag, d, bi)
+	}
+}
+
+// ldltScale applies the middle phase of the L·D·Lᵀ solve, overwriting b
+// with D⁻¹·b. It cannot fuse into either sweep: the forward applies of
+// later rows read the unscaled y_j, and the backward applies of row i
+// accumulate into the already-scaled z_i — so the scale lives exactly
+// at the barrier between the two sweeps. It is elementwise and runs on
+// one goroutine in deterministic row order; at O(N·nrhs) against the
+// sweeps' O(N·b·nrhs) it is never worth parallelizing, and keeping it
+// serial preserves the planned path's bitwise determinism for free.
+func ldltScale(f *tilemat.Matrix, b *dense.Matrix) {
+	for i := 0; i < f.NT; i++ {
+		d := f.At(i, i).D
+		r0 := f.RowStart(i)
+		for r := 0; r < d.Rows; r++ {
+			inv := 1 / d.At(r, r)
+			row := b.Row(r0 + r)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	}
 }
 
 // tileMulAcc computes dst += s·op(T)·x exploiting the tile format,
@@ -140,6 +184,29 @@ func FactorError(f *tilemat.Matrix, a *dense.Matrix) float64 {
 	llt := dense.NewMatrix(f.N, f.N)
 	dense.Gemm(dense.NoTrans, dense.Trans, 1, l, l, 0, llt)
 	return dense.FrobDiff(llt, a) / a.FrobNorm()
+}
+
+// FactorErrorLDLt returns ‖L·D·Lᵀ − A‖_F / ‖A‖_F for an LDLᵀ factor f
+// against the dense reference operator a. The factor's diagonal tiles
+// pack unit-lower L and D in one matrix (dense.Ldlt layout); this
+// unpacks them through LowerToDense and separates L from D.
+func FactorErrorLDLt(f *tilemat.Matrix, a *dense.Matrix) float64 {
+	packed := f.LowerToDense()
+	n := f.N
+	l := dense.NewMatrix(n, n)
+	ld := dense.NewMatrix(n, n) // L·D
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := packed.At(i, j)
+			l.Set(i, j, v)
+			ld.Set(i, j, v*packed.At(j, j))
+		}
+		l.Set(i, i, 1)
+		ld.Set(i, i, packed.At(i, i))
+	}
+	ldlt := dense.NewMatrix(n, n)
+	dense.Gemm(dense.NoTrans, dense.Trans, 1, ld, l, 0, ldlt)
+	return dense.FrobDiff(ldlt, a) / a.FrobNorm()
 }
 
 // ResidualNorm returns ‖A·x − b‖_F / ‖b‖_F for a dense operator, the

@@ -242,7 +242,13 @@ func applyCost(f *tilemat.Matrix, i, partner int, backward bool) float64 {
 // BuildSolvePlan and reuse it across every solve; the plan itself is
 // immutable and safe for concurrent SolveCtx calls.
 type SolvePlan struct {
-	nt, n    int
+	nt, n int
+	// ldlt records the factor form the plan was built for. The sweep
+	// DAGs are identical either way (the D⁻¹ phase runs at the barrier
+	// between them — see ldltScale), but executing a plan against a
+	// factor of the other form would silently solve the wrong system,
+	// so SolveCtx checks.
+	ldlt     bool
 	fwd, bwd sweepPlan
 }
 
@@ -252,10 +258,11 @@ type SolvePlan struct {
 // solves it accelerates.
 func BuildSolvePlan(f *tilemat.Matrix) *SolvePlan {
 	p := &SolvePlan{
-		nt:  f.NT,
-		n:   f.N,
-		fwd: buildSweep(f, false),
-		bwd: buildSweep(f, true),
+		nt:   f.NT,
+		n:    f.N,
+		ldlt: f.Form == tilemat.FormLDLt,
+		fwd:  buildSweep(f, false),
+		bwd:  buildSweep(f, true),
 	}
 	solvePlanBuilds.Add(0, 1)
 	return p
@@ -299,6 +306,9 @@ func (p *SolvePlan) SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Ma
 	if f.NT != p.nt || f.N != p.n {
 		panic(fmt.Sprintf("core: SolvePlan built for NT=%d n=%d applied to NT=%d n=%d", p.nt, p.n, f.NT, f.N))
 	}
+	if (f.Form == tilemat.FormLDLt) != p.ldlt {
+		panic("core: SolvePlan factorization form mismatch")
+	}
 	if b.Rows != p.n {
 		panic("core: Solve right-hand side dimension mismatch")
 	}
@@ -314,6 +324,9 @@ func (p *SolvePlan) SolveCtx(ctx context.Context, f *tilemat.Matrix, b *dense.Ma
 	solvePlannedRuns.Add(0, 1)
 	if err := runSweep(ctx, &p.fwd, f, b, false, workers); err != nil {
 		return err
+	}
+	if p.ldlt {
+		ldltScale(f, b)
 	}
 	return runSweep(ctx, &p.bwd, f, b, true, workers)
 }
@@ -333,6 +346,7 @@ type solveRun struct {
 	tr    *obs.Tracer
 	rt    *obs.ReqTrace
 	trans bool
+	ldlt  bool
 
 	// segs holds one view header per tile row of b. Segment i is
 	// written only by tasks with dst == i, which the plan serializes.
@@ -375,6 +389,7 @@ func runSweep(ctx context.Context, sp *sweepPlan, f *tilemat.Matrix, b *dense.Ma
 		solveRunPool.Put(r)
 	}()
 	r.plan, r.f, r.ctx, r.trans = sp, f, ctx, trans
+	r.ldlt = f.Form == tilemat.FormLDLt
 	r.tr = obs.Active()
 	// Request-scoped span detail: only attach the trace when its span
 	// ring exists, so the warm path with tracing off (or detail off)
@@ -492,11 +507,7 @@ func (r *solveRun) exec(t int32, id int, ws *dense.Workspace) {
 	i := int(task.dst)
 	bi := &r.segs[i]
 	if task.src == task.dst {
-		if r.trans {
-			dense.TrsmDet(dense.Lower, dense.Trans, dense.NonUnit, r.f.At(i, i).D, bi)
-		} else {
-			dense.TrsmDet(dense.Lower, dense.NoTrans, dense.NonUnit, r.f.At(i, i).D, bi)
-		}
+		solveDiag(r.f.At(i, i).D, bi, r.trans, r.ldlt)
 	} else {
 		p := int(task.src)
 		if r.trans {

@@ -1,0 +1,83 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrSingularPivot reports a zero (or non-finite) pivot during an
+// unpivoted LDLᵀ factorization. Unlike ErrNotPositiveDefinite this is
+// not a property of the matrix class — symmetric indefinite matrices
+// factor fine as long as every leading principal minor is nonzero
+// (quasi-definite systems, e.g. RBF saddle-point augmentations,
+// guarantee this) — but a structurally singular block stops the
+// factorization.
+type ErrSingularPivot struct {
+	Index int
+	Value float64
+}
+
+func (e ErrSingularPivot) Error() string {
+	return fmt.Sprintf("dense: matrix is singular, LDLt pivot %d is %g", e.Index, e.Value)
+}
+
+// Ldlt overwrites the lower triangle of the symmetric matrix a with its
+// unpivoted LDLᵀ factorization: the strict lower triangle holds the
+// unit-lower factor L (the implicit unit diagonal is not stored) and
+// the diagonal holds D. Signs of D are unconstrained — this is the
+// signed Cholesky variant for symmetric indefinite systems. The strict
+// upper triangle is not referenced and left untouched, matching Potrf's
+// contract. No pivoting is performed: the caller is responsible for
+// ordering the system so every leading principal minor is nonzero
+// (true for quasi-definite saddle-point systems with the definite
+// block first).
+func Ldlt(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("dense: Ldlt requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// w caches d_k·l_jk for the current column's dot products, turning
+	// the rank-j update into one fused pass per row.
+	w := make([]float64, n)
+	for j := 0; j < n; j++ {
+		rj := a.Row(j)
+		dj := rj[j]
+		for k := 0; k < j; k++ {
+			ljk := rj[k]
+			wk := a.At(k, k) * ljk
+			w[k] = wk
+			dj -= ljk * wk
+		}
+		if dj == 0 || math.IsNaN(dj) || math.IsInf(dj, 0) {
+			return ErrSingularPivot{Index: j, Value: dj}
+		}
+		rj[j] = dj
+		inv := 1 / dj
+		for i := j + 1; i < n; i++ {
+			ri := a.Row(i)
+			s := ri[j]
+			for k := 0; k < j; k++ {
+				s -= ri[k] * w[k]
+			}
+			ri[j] = s * inv
+		}
+	}
+	return nil
+}
+
+// LdltSolve solves (L·D·Lᵀ)·x = b in place given the packed factor
+// produced by Ldlt: forward substitution with unit-lower L, a diagonal
+// scale by D⁻¹, then backward substitution with Lᵀ. The diagonal scale
+// reads D straight off the factor's diagonal; the unit diagonal of L is
+// implicit.
+func LdltSolve(l, b *Matrix) {
+	Trsm(Left, Lower, NoTrans, Unit, 1, l, b)
+	for i := 0; i < l.Rows; i++ {
+		inv := 1 / l.At(i, i)
+		row := b.Row(i)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	Trsm(Left, Lower, Trans, Unit, 1, l, b)
+}

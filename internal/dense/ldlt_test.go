@@ -1,0 +1,139 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomIndefinite builds a symmetric matrix with mixed-sign eigenvalues
+// whose leading principal minors are all nonzero: Mᵀ·S·M for a
+// well-conditioned random M and a signature matrix S.
+func randomIndefinite(rng *rand.Rand, n int) *Matrix {
+	m := Random(rng, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+float64(n)) // diagonally dominant → nonsingular
+	}
+	s := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			s.Set(i, i, -1)
+		} else {
+			s.Set(i, i, 1)
+		}
+	}
+	sm := NewMatrix(n, n)
+	Gemm(NoTrans, NoTrans, 1, s, m, 0, sm)
+	a := NewMatrix(n, n)
+	Gemm(Trans, NoTrans, 1, m, sm, 0, a)
+	// Symmetrize exactly (Gemm rounding can leave a!=aᵀ in the last ulp).
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := 0.5 * (a.At(i, j) + a.At(j, i))
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestLdltReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := randomIndefinite(rng, n)
+		l := a.Clone()
+		if err := Ldlt(l); err != nil {
+			t.Fatalf("Ldlt n=%d: %v", n, err)
+		}
+		// Reconstruct L·D·Lᵀ.
+		lmat := NewMatrix(n, n)
+		d := make([]float64, n)
+		neg := 0
+		for i := 0; i < n; i++ {
+			d[i] = l.At(i, i)
+			if d[i] < 0 {
+				neg++
+			}
+			lmat.Set(i, i, 1)
+			for j := 0; j < i; j++ {
+				lmat.Set(i, j, l.At(i, j))
+			}
+		}
+		if n >= 3 && neg == 0 {
+			t.Fatalf("n=%d: test matrix should be indefinite (no negative D entries)", n)
+		}
+		ld := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				ld.Set(i, j, lmat.At(i, j)*d[j])
+			}
+		}
+		back := NewMatrix(n, n)
+		Gemm(NoTrans, Trans, 1, ld, lmat, 0, back)
+		if FrobDiff(back, a) > 1e-9*a.FrobNorm() {
+			t.Fatalf("Ldlt reconstruct n=%d diff=%g", n, FrobDiff(back, a))
+		}
+	}
+}
+
+func TestLdltRejectsSingular(t *testing.T) {
+	// Leading 1×1 minor is zero: unpivoted LDLᵀ must refuse.
+	a := FromSlice(2, 2, []float64{0, 1, 1, 0})
+	err := Ldlt(a)
+	if err == nil {
+		t.Fatal("expected a singular-pivot error")
+	}
+	if _, ok := err.(ErrSingularPivot); !ok {
+		t.Fatalf("expected ErrSingularPivot, got %T: %v", err, err)
+	}
+}
+
+func TestLdltLeavesUpperUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomIndefinite(rng, 6)
+	marker := 123.456
+	a.Set(0, 5, marker)
+	if err := Ldlt(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 5) != marker {
+		t.Fatal("Ldlt must not touch the strictly-upper triangle")
+	}
+}
+
+func TestLdltSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 24
+	a := randomIndefinite(rng, n)
+	xTrue := Random(rng, n, 3)
+	b := NewMatrix(n, 3)
+	Gemm(NoTrans, NoTrans, 1, a, xTrue, 0, b)
+	l := a.Clone()
+	if err := Ldlt(l); err != nil {
+		t.Fatal(err)
+	}
+	LdltSolve(l, b)
+	if FrobDiff(b, xTrue) > 1e-7*xTrue.FrobNorm() {
+		t.Fatalf("LdltSolve residual too large: %g", FrobDiff(b, xTrue))
+	}
+}
+
+func TestLdltMatchesPotrfOnSPD(t *testing.T) {
+	// On an SPD matrix LDLᵀ and Cholesky agree: L_chol = L_ldlt·√D.
+	rng := rand.New(rand.NewSource(33))
+	n := 16
+	a := RandomSPD(rng, n)
+	lc := a.Clone()
+	if err := Potrf(lc); err != nil {
+		t.Fatal(err)
+	}
+	ld := a.Clone()
+	if err := Ldlt(ld); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		d := ld.At(j, j)
+		if d <= 0 {
+			t.Fatalf("SPD input produced non-positive D[%d]=%g", j, d)
+		}
+	}
+}

@@ -290,3 +290,33 @@ func TestFig06DistributedAnalysisMemory(t *testing.T) {
 		}
 	}
 }
+
+func TestAugmentedClaims(t *testing.T) {
+	r, err := Augmented(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CholReject == "" || !strings.Contains(r.CholReject, "not positive definite") {
+		t.Fatalf("Cholesky must refuse the saddle-point operator, got %q", r.CholReject)
+	}
+	if len(r.Runs) != 2 {
+		t.Fatalf("want svd and ara runs, got %d", len(r.Runs))
+	}
+	for _, run := range r.Runs {
+		if run.NegPivots != 4 {
+			t.Errorf("%s: quasi-definite signature wants exactly 4 negative pivots, got %d", run.Compressor, run.NegPivots)
+		}
+		if run.Residual > 10*r.Tol {
+			t.Errorf("%s: solve residual %g exceeds 10·tol=%g", run.Compressor, run.Residual, 10*r.Tol)
+		}
+		if run.FactorErr > 100*r.Tol {
+			t.Errorf("%s: factor error %g exceeds 100·tol", run.Compressor, run.FactorErr)
+		}
+		// Linear reproduction is the augmentation's raison d'être: the
+		// polynomial coefficients must come back far more accurately than
+		// the compression tolerance alone would promise.
+		if run.PolyErr > r.Tol {
+			t.Errorf("%s: polynomial reproduction error %g exceeds tol", run.Compressor, run.PolyErr)
+		}
+	}
+}

@@ -61,6 +61,65 @@ func GemmLR(b, ka, kb, kc int) float64 {
 	return 4*bf*kaf*kbf + 4*bf*s*s + svdC*s*s*s + 4*bf*s*s
 }
 
+// Sytrf returns the flops of a dense unpivoted LDLᵀ factorization of a
+// b×b tile: same b³/3 leading term as Cholesky (the square root per
+// pivot is replaced by a reciprocal, lower-order).
+func Sytrf(b int) float64 {
+	n := float64(b)
+	return n*n*n/3 + n*n/2 + n/6
+}
+
+// TrsmLDLtDense returns the flops of the dense LDLᵀ panel solve
+// A·L⁻ᵀ·D⁻¹ of a b×b tile: the b³ triangular solve plus a b² diagonal
+// scale.
+func TrsmLDLtDense(b int) float64 {
+	n := float64(b)
+	return n*n*n + n*n
+}
+
+// TrsmLDLtLR returns the flops of the LDLᵀ panel solve on a rank-k
+// tile: the b²k triangular solve on V plus a bk diagonal scale.
+func TrsmLDLtLR(b, k int) float64 {
+	return float64(b)*float64(b)*float64(k) + float64(b)*float64(k)
+}
+
+// SyrkDDense returns the flops of the dense D-weighted symmetric update
+// C −= A·D·Aᵀ: a b² column scale plus the b²(b+1) SYRK.
+func SyrkDDense(b int) float64 {
+	n := float64(b)
+	return n*n + n*n*(n+1)
+}
+
+// SyrkDLR returns the flops of the D-weighted TLR SYRK
+// C −= U(VᵀDV)Uᵀ: SyrkLR plus the bk diagonal scale of V.
+func SyrkDLR(b, k int) float64 {
+	return SyrkLR(b, k) + float64(b)*float64(k)
+}
+
+// GemmDLR returns the flops of the D-weighted TLR GEMM
+// C −= U_a(V_aᵀDV_b)U_bᵀ: GemmLR plus the b·kb diagonal scale of V_b.
+func GemmDLR(b, ka, kb, kc int) float64 {
+	return GemmLR(b, ka, kb, kc) + float64(b)*float64(kb)
+}
+
+// CompressARA returns the flops of compressing a dense b×b tile to rank
+// k by blocked randomized sampling with block size bs: ceil(k/bs)+1
+// sampling GEMMs of 2b²·bs, the Gram–Schmidt/QR basis work (~4bk² over
+// the whole build), and the final QᵀA projection + small SVD
+// (2b²k + svd). The +1 round is the rank test that certifies
+// convergence — the structural overhead of adaptivity.
+func CompressARA(b, k, bs int) float64 {
+	if bs <= 0 {
+		bs = 32
+	}
+	bf, kf := float64(b), float64(k)
+	rounds := float64((k+bs-1)/bs + 1)
+	sample := rounds * 2 * bf * bf * float64(bs)
+	basis := 4 * bf * kf * kf
+	finalize := 2*bf*bf*kf + 30*kf*kf*kf
+	return sample + basis + finalize
+}
+
 // CompressQRCP returns the flops of compressing a dense b×b tile to
 // rank k with truncated column-pivoted QR: ~4b²k.
 func CompressQRCP(b, k int) float64 {

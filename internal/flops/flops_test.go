@@ -59,3 +59,43 @@ func TestGenerationAndCompression(t *testing.T) {
 		t.Fatalf("CompressQRCP formula changed")
 	}
 }
+
+func TestLDLtKernelsTrackCholesky(t *testing.T) {
+	// The signed variant costs the same to leading order: the D weighting
+	// adds only lower-order diagonal scales.
+	b, k := 2048, 40
+	if r := Sytrf(b) / Potrf(b); r != 1 {
+		t.Fatalf("Sytrf/Potrf = %g, want 1", r)
+	}
+	if TrsmLDLtLR(b, k) <= TrsmLR(b, k) || TrsmLDLtLR(b, k) > 1.01*TrsmLR(b, k) {
+		t.Fatalf("TrsmLDLtLR must add only the diagonal scale")
+	}
+	if SyrkDLR(b, k) <= SyrkLR(b, k) || SyrkDLR(b, k) > 1.01*SyrkLR(b, k) {
+		t.Fatalf("SyrkDLR must add only the diagonal scale")
+	}
+	if GemmDLR(b, k, k, k) <= GemmLR(b, k, k, k) || GemmDLR(b, k, k, k) > 1.01*GemmLR(b, k, k, k) {
+		t.Fatalf("GemmDLR must add only the diagonal scale")
+	}
+	if TrsmLDLtDense(b) <= TrsmDense(b) || SyrkDDense(b) <= SyrkDense(b) {
+		t.Fatalf("dense D-weighted kernels must include the scale")
+	}
+}
+
+func TestCompressARAAmortizes(t *testing.T) {
+	// At moderate ranks the sampling build is within a small factor of
+	// the deterministic compression; the adaptive overhead is one extra
+	// sampling round.
+	b, k := 1024, 64
+	ara, qrcp := CompressARA(b, k, 32), CompressQRCP(b, k)
+	if ara <= 0 || qrcp <= 0 {
+		t.Fatal("costs must be positive")
+	}
+	if ara > 10*qrcp {
+		t.Fatalf("ARA cost model out of range: %g vs %g", ara, qrcp)
+	}
+	// A coarser block overshoots the rank and pays a bigger
+	// certification round, so it costs more total flops.
+	if CompressARA(b, k, 64) <= CompressARA(b, k, 8) {
+		t.Fatalf("coarser sampling blocks must cost more total sampling flops")
+	}
+}

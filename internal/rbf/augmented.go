@@ -51,6 +51,44 @@ func (ip *AugmentedInterpolant) Eval(x Point) []float64 {
 	return out
 }
 
+// AugmentedDim returns the order of the augmented saddle-point system
+// [K P; Pᵀ 0]: the N kernel rows plus the 4 polynomial constraint rows.
+func (p *Problem) AugmentedDim() int { return p.N() + 4 }
+
+// AugmentedEntry returns entry (i, j) of the symmetric augmented
+// operator: the kernel block for i, j < N, the polynomial coupling
+// P(i, j−N) on the borders, and the zero corner for i, j ≥ N. The
+// kernel block comes first so every leading principal minor through
+// order N is a minor of SPD K — the ordering that makes the unpivoted
+// TLR LDLᵀ factorization well defined on this quasi-definite system
+// (the trailing Schur complement −Pᵀ·K⁻¹·P is negative definite
+// whenever the points are not coplanar).
+func (p *Problem) AugmentedEntry(i, j int) float64 {
+	n := p.N()
+	switch {
+	case i < n && j < n:
+		return p.Entry(i, j)
+	case i >= n && j >= n:
+		return 0
+	case i >= n:
+		i, j = j, i
+	}
+	return PolyBasis(p.Points[i])[j-n]
+}
+
+// AugmentedBlock is the tilemat.Assembler for the augmented system,
+// producing the dense sub-block [r0:r1) × [c0:c1).
+func (p *Problem) AugmentedBlock(r0, r1, c0, c1 int) *dense.Matrix {
+	out := dense.NewMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		row := out.Row(i - r0)
+		for j := c0; j < c1; j++ {
+			row[j-c0] = p.AugmentedEntry(i, j)
+		}
+	}
+	return out
+}
+
 // KernelSolver solves K·X = B for the problem's kernel matrix,
 // overwriting B with X — typically core.Solve with a TLR factor, or a
 // refinement wrapper. The indirection keeps this package free of a

@@ -33,10 +33,35 @@ type ProblemSpec struct {
 	DeltaFactor float64 `json:"delta_factor,omitempty"`
 	// Nugget is the diagonal regularization (default 100·Tol).
 	Nugget float64 `json:"nugget,omitempty"`
-	// Seed selects the synthetic virus-population geometry (default 42).
+	// Seed selects the synthetic virus-population geometry (default 42)
+	// and, under the ara compressor, its Gaussian sampling stream.
 	Seed int64 `json:"seed,omitempty"`
 	// Trim enables DAG trimming (default true).
 	Trim *bool `json:"trim,omitempty"`
+	// Compress selects the tile compressor: svd (default, deterministic)
+	// or ara (blocked adaptive randomized approximation).
+	Compress string `json:"compress,omitempty"`
+	// AraBS is the ara sampling block size (0 = the compressor default;
+	// only valid with compress=ara).
+	AraBS int `json:"ara_bs,omitempty"`
+	// Factor selects the factorization: chol (default, SPD only) or
+	// ldlt (signed, for symmetric indefinite operators).
+	Factor string `json:"factor,omitempty"`
+	// Augmented solves the saddle-point system [K P; Pᵀ 0] with the
+	// linear polynomial constraint block P — the full RBF interpolant of
+	// Section IV-C. Indefinite, so it requires factor=ldlt. Right-hand
+	// sides keep length N; the server pads the 4 constraint rows with
+	// zeros and returns length-N solutions.
+	Augmented bool `json:"augmented,omitempty"`
+}
+
+// Dim returns the order of the operator the spec factorizes: N, or N+4
+// when the polynomial-augmented system is requested.
+func (sp ProblemSpec) Dim() int {
+	if sp.Augmented {
+		return sp.N + 4
+	}
+	return sp.N
 }
 
 // normalize applies defaults and validates the spec against the
@@ -87,6 +112,31 @@ func (sp *ProblemSpec) normalize(maxN int) error {
 	if sp.Trim == nil {
 		t := true
 		sp.Trim = &t
+	}
+	if sp.Compress == "" {
+		sp.Compress = "svd"
+	}
+	switch sp.Compress {
+	case "svd", "ara":
+	default:
+		return fmt.Errorf("unknown compressor %q (want svd or ara)", sp.Compress)
+	}
+	if sp.AraBS < 0 {
+		return fmt.Errorf("ara_bs must be ≥ 0, got %d", sp.AraBS)
+	}
+	if sp.AraBS > 0 && sp.Compress != "ara" {
+		return fmt.Errorf("ara_bs requires compress=ara")
+	}
+	if sp.Factor == "" {
+		sp.Factor = "chol"
+	}
+	switch sp.Factor {
+	case "chol", "ldlt":
+	default:
+		return fmt.Errorf("unknown factorization %q (want chol or ldlt)", sp.Factor)
+	}
+	if sp.Augmented && sp.Factor != "ldlt" {
+		return fmt.Errorf("the augmented saddle-point system is indefinite; it requires factor=ldlt")
 	}
 	return nil
 }
@@ -146,11 +196,14 @@ func validatePoints(pts []rbf.Point) error {
 
 // Fingerprint hashes the problem identity: the geometry (exact float
 // bits of every generated point, with -0.0 canonicalized to +0.0), the
-// kernel and its parameters, and the discretization/accuracy knobs
-// (tile, tol, maxrank, trim). Anything that changes the factor's bits
-// is in the hash; request-side options (RHS, refinement) are not.
-// Callers must validate the geometry first (validatePoints): the hash
-// assumes every coordinate is finite.
+// kernel and its parameters, the discretization/accuracy knobs (tile,
+// tol, maxrank, trim), and the build pipeline (compressor kind and its
+// block size, factorization kind, augmentation). Anything that changes
+// the factor's bits is in the hash; request-side options (RHS,
+// refinement) are not. Strings are length-prefixed so adjacent fields
+// cannot alias across their boundary. Callers must validate the
+// geometry first (validatePoints): the hash assumes every coordinate
+// is finite.
 func Fingerprint(sp ProblemSpec, pts []rbf.Point) string {
 	h := sha256.New()
 	var buf [8]byte
@@ -159,15 +212,27 @@ func Fingerprint(sp ProblemSpec, pts []rbf.Point) string {
 		h.Write(buf[:])
 	}
 	wf := func(v float64) { w64(math.Float64bits(canonFloat(v))) }
+	ws := func(s string) {
+		w64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
 	w64(uint64(sp.N))
 	w64(uint64(sp.Tile))
 	wf(sp.Tol)
 	w64(uint64(sp.MaxRank))
-	h.Write([]byte(sp.Kernel))
+	ws(sp.Kernel)
 	wf(sp.DeltaFactor)
 	wf(sp.Nugget)
 	w64(uint64(sp.Seed))
 	if sp.Trim != nil && *sp.Trim {
+		w64(1)
+	} else {
+		w64(0)
+	}
+	ws(sp.Compress)
+	w64(uint64(sp.AraBS))
+	ws(sp.Factor)
+	if sp.Augmented {
 		w64(1)
 	} else {
 		w64(0)

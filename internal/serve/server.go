@@ -31,6 +31,7 @@ import (
 	"tlrchol/internal/obs"
 	"tlrchol/internal/rbf"
 	"tlrchol/internal/tilemat"
+	"tlrchol/internal/tlr"
 )
 
 // Config tunes the service. The zero value is usable: every field has
@@ -446,7 +447,15 @@ func (s *Server) buildFactor(rt *obs.ReqTrace, sp ProblemSpec, pts []rbf.Point, 
 
 	compressStart := rt.Now()
 	prob, _ := sp.problem(pts)
-	m, _, err := tilemat.FromAssemblerParallel(sp.N, sp.Tile, prob.Block, sp.Tol, sp.MaxRank, s.cfg.Workers)
+	comp, err := tlr.CompressorFor(sp.Compress, sp.AraBS, uint64(sp.Seed))
+	if err != nil {
+		return nil, err
+	}
+	asm := tilemat.Assembler(prob.Block)
+	if sp.Augmented {
+		asm = prob.AugmentedBlock
+	}
+	m, _, err := tilemat.FromAssemblerParallelComp(sp.Dim(), sp.Tile, asm, sp.Tol, sp.MaxRank, s.cfg.Workers, comp)
 	if err != nil {
 		return nil, fmt.Errorf("compression failed: %w", err)
 	}
@@ -454,14 +463,20 @@ func (s *Server) buildFactor(rt *obs.ReqTrace, sp ProblemSpec, pts []rbf.Point, 
 	rt.Span("factor.compress", -1, compressStart, rt.Now()-compressStart, obs.SpanInfo{}, false)
 	op := m.Clone()
 
-	rep, err := core.Factorize(m, core.Options{
+	opts := core.Options{
 		Tol:     sp.Tol,
 		MaxRank: sp.MaxRank,
 		Trim:    *sp.Trim,
 		Workers: s.cfg.Workers,
 		Context: ctx,
 		Metrics: s.reg,
-	})
+	}
+	var rep core.Report
+	if sp.Factor == "ldlt" {
+		rep, err = core.FactorizeLDLt(m, opts)
+	} else {
+		rep, err = core.Factorize(m, opts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("factorization failed: %w", err)
 	}
@@ -635,6 +650,18 @@ func (s *Server) doSolveAdmitted(ctx context.Context, req *SolveRequest, fpHint 
 	rt.Phase("factor", resolveStart, rt.Now()-resolveStart)
 	rt.Tag("fp", fpPrefix(f.FP))
 	rt.Tag("cache", hitMiss(cached))
+	if d := f.Spec.Dim(); d != cols.Rows {
+		// Augmented factor: the request's columns carry the N data rows;
+		// the 4 polynomial constraint rows of the saddle-point system are
+		// identically zero. Pad here so the whole solve pipeline sees the
+		// factor's dimension (the response assembly below reads only the
+		// first N rows back, which drops the padding again).
+		padded := dense.NewMatrix(d, cols.Cols)
+		for i := 0; i < cols.Rows; i++ {
+			copy(padded.Row(i), cols.Row(i))
+		}
+		cols = padded
+	}
 	p := SolveParams{Refine: req.Refine, MaxIter: req.MaxIter, Target: req.Target}
 	if p.Refine {
 		if p.MaxIter <= 0 {

@@ -16,13 +16,31 @@ import (
 	"tlrchol/internal/tlr"
 )
 
-// Matrix is a symmetric positive-definite matrix stored as a lower
-// triangle of tiles. Tile (m,n) for m ≥ n covers rows [RowStart(m),
-// RowEnd(m)) and columns [RowStart(n), RowEnd(n)).
+// Form records which factorization a tile matrix holds after it has
+// been factored in place. Unfactored operators are FormCholesky (the
+// zero value); solve paths branch on it to pick the right substitution
+// kernels.
+type Form int
+
+const (
+	// FormCholesky marks an unfactored operator or a Cholesky factor
+	// (diagonal tiles hold L with the diagonal of L on the diagonal).
+	FormCholesky Form = iota
+	// FormLDLt marks an LDLᵀ factor: diagonal tiles pack the unit-lower
+	// L in their strict lower triangle and D on the diagonal.
+	FormLDLt
+)
+
+// Matrix is a symmetric matrix stored as a lower triangle of tiles.
+// Tile (m,n) for m ≥ n covers rows [RowStart(m), RowEnd(m)) and columns
+// [RowStart(n), RowEnd(n)).
 type Matrix struct {
 	// N is the matrix dimension, B the tile size, NT the number of tile
 	// rows/columns: NT = ceil(N/B). The last tile may be smaller.
 	N, B, NT int
+	// Form identifies the factorization the matrix holds once factored
+	// in place (FormCholesky for unfactored operators).
+	Form Form
 	// tiles[m][n] for n ≤ m.
 	tiles [][]*tlr.Tile
 }
@@ -80,7 +98,7 @@ func (m *Matrix) Set(i, j int, t *tlr.Tile) {
 
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
-	c := &Matrix{N: m.N, B: m.B, NT: m.NT, tiles: make([][]*tlr.Tile, m.NT)}
+	c := &Matrix{N: m.N, B: m.B, NT: m.NT, Form: m.Form, tiles: make([][]*tlr.Tile, m.NT)}
 	for i := range m.tiles {
 		c.tiles[i] = make([]*tlr.Tile, len(m.tiles[i]))
 		for j := range m.tiles[i] {
@@ -109,27 +127,64 @@ type CompressionStats struct {
 // compressed at the accuracy threshold tol, so the full dense operator
 // never exists in memory at once. maxRank caps stored ranks (≤0: none).
 func FromAssembler(n, b int, asm Assembler, tol float64, maxRank int) (*Matrix, CompressionStats) {
+	return FromAssemblerComp(n, b, asm, tol, maxRank, tlr.SVDCompressor{})
+}
+
+// record accumulates one compressed off-diagonal tile into the stats.
+func (st *CompressionStats) record(t *tlr.Tile) {
+	st.CompressedBytes += t.Bytes()
+	if t.Kind == tlr.Zero {
+		st.ZeroTiles++
+	} else {
+		st.LowRankTiles++
+	}
+}
+
+// FromAssemblerComp is FromAssembler with a pluggable tile compressor.
+// Per-tile compressors (the deterministic SVD chain) keep the original
+// one-tile-at-a-time memory profile; column-batched compressors (ARA)
+// get all off-diagonal tiles of a tile column assembled at once so the
+// sampling GEMMs amortize over the whole column, at the cost of one
+// column of dense blocks resident instead of one tile.
+func FromAssemblerComp(n, b int, asm Assembler, tol float64, maxRank int, comp tlr.Compressor) (*Matrix, CompressionStats) {
 	m := New(n, b)
 	var st CompressionStats
-	for i := 0; i < m.NT; i++ {
-		r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
-		for j := 0; j <= i; j++ {
-			c0, c1 := m.RowStart(j), m.RowStart(j)+m.TileRows(j)
-			blk := asm(r0, r1, c0, c1)
-			st.DenseBytes += 8 * blk.Rows * blk.Cols
-			if i == j {
-				m.tiles[i][j] = tlr.NewDense(blk)
-				st.CompressedBytes += 8 * blk.Rows * blk.Cols
-				continue
+	cc, batched := comp.(tlr.ColumnCompressor)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	for j := 0; j < m.NT; j++ {
+		c0, c1 := m.RowStart(j), m.RowStart(j)+m.TileRows(j)
+		diag := asm(c0, c1, c0, c1)
+		m.tiles[j][j] = tlr.NewDense(diag)
+		st.DenseBytes += 8 * diag.Rows * diag.Cols
+		st.CompressedBytes += 8 * diag.Rows * diag.Cols
+		if !batched {
+			for i := j + 1; i < m.NT; i++ {
+				r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
+				blk := asm(r0, r1, c0, c1)
+				st.DenseBytes += 8 * blk.Rows * blk.Cols
+				t := comp.CompressWS(blk, tol, maxRank, ws)
+				m.tiles[i][j] = t
+				st.record(t)
 			}
-			t := tlr.Compress(blk, tol, maxRank)
+			continue
+		}
+		nb := m.NT - j - 1
+		if nb == 0 {
+			continue
+		}
+		blocks := make([]*dense.Matrix, nb)
+		for i := j + 1; i < m.NT; i++ {
+			r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
+			blocks[i-j-1] = asm(r0, r1, c0, c1)
+			st.DenseBytes += 8 * blocks[i-j-1].Rows * blocks[i-j-1].Cols
+		}
+		out := make([]*tlr.Tile, nb)
+		cc.CompressColumnWS(j, blocks, tol, maxRank, ws, out)
+		for i := j + 1; i < m.NT; i++ {
+			t := out[i-j-1]
 			m.tiles[i][j] = t
-			st.CompressedBytes += t.Bytes()
-			if t.Kind == tlr.Zero {
-				st.ZeroTiles++
-			} else {
-				st.LowRankTiles++
-			}
+			st.record(t)
 		}
 	}
 	return m, st
@@ -296,35 +351,74 @@ func DenseTiles(a *dense.Matrix, b int) *Matrix {
 // factorization optimizations of the paper it dominates the end-to-end
 // time (Fig 11), so parallelizing it matters.
 func FromAssemblerParallel(n, b int, asm Assembler, tol float64, maxRank, workers int) (*Matrix, CompressionStats, error) {
+	return FromAssemblerParallelComp(n, b, asm, tol, maxRank, workers, tlr.SVDCompressor{})
+}
+
+// FromAssemblerParallelComp is FromAssemblerParallel with a pluggable
+// compressor. Per-tile compressors spawn one task per tile; a
+// column-batched compressor (ARA) spawns one task per tile column for
+// its off-diagonal tiles (plus per-tile diagonal tasks), so each task
+// runs one batched sampling pass. Results are identical to the
+// sequential builder in either case — the ARA sampling streams are
+// position-seeded, not scheduling-dependent.
+func FromAssemblerParallelComp(n, b int, asm Assembler, tol float64, maxRank, workers int, comp tlr.Compressor) (*Matrix, CompressionStats, error) {
 	m := New(n, b)
 	var mu sync.Mutex
 	var st CompressionStats
+	cc, batched := comp.(tlr.ColumnCompressor)
 	g := runtime.NewGraph()
-	for i := 0; i < m.NT; i++ {
-		i := i
-		r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
-		for j := 0; j <= i; j++ {
-			j := j
-			c0, c1 := m.RowStart(j), m.RowStart(j)+m.TileRows(j)
-			g.NewTask(fmt.Sprintf("compress(%d,%d)", i, j), 0, func() error {
-				blk := asm(r0, r1, c0, c1)
-				var t *tlr.Tile
-				if i == j {
-					t = tlr.NewDense(blk)
-				} else {
-					t = tlr.Compress(blk, tol, maxRank)
+	for j := 0; j < m.NT; j++ {
+		j := j
+		c0, c1 := m.RowStart(j), m.RowStart(j)+m.TileRows(j)
+		g.NewTask(fmt.Sprintf("assemble(%d,%d)", j, j), 0, func() error {
+			diag := asm(c0, c1, c0, c1)
+			m.tiles[j][j] = tlr.NewDense(diag)
+			mu.Lock()
+			st.DenseBytes += 8 * diag.Rows * diag.Cols
+			st.CompressedBytes += 8 * diag.Rows * diag.Cols
+			mu.Unlock()
+			return nil
+		})
+		if batched {
+			if m.NT-j-1 == 0 {
+				continue
+			}
+			g.NewTask(fmt.Sprintf("compress-col(%d)", j), 0, func() error {
+				ws := dense.GetWorkspace()
+				defer ws.Release()
+				nb := m.NT - j - 1
+				blocks := make([]*dense.Matrix, nb)
+				var denseBytes int
+				for i := j + 1; i < m.NT; i++ {
+					r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
+					blocks[i-j-1] = asm(r0, r1, c0, c1)
+					denseBytes += 8 * blocks[i-j-1].Rows * blocks[i-j-1].Cols
 				}
+				out := make([]*tlr.Tile, nb)
+				cc.CompressColumnWS(j, blocks, tol, maxRank, ws, out)
+				mu.Lock()
+				st.DenseBytes += denseBytes
+				for i := j + 1; i < m.NT; i++ {
+					m.tiles[i][j] = out[i-j-1]
+					st.record(out[i-j-1])
+				}
+				mu.Unlock()
+				return nil
+			})
+			continue
+		}
+		for i := j + 1; i < m.NT; i++ {
+			i := i
+			r0, r1 := m.RowStart(i), m.RowStart(i)+m.TileRows(i)
+			g.NewTask(fmt.Sprintf("compress(%d,%d)", i, j), 0, func() error {
+				ws := dense.GetWorkspace()
+				defer ws.Release()
+				blk := asm(r0, r1, c0, c1)
+				t := comp.CompressWS(blk, tol, maxRank, ws)
 				m.tiles[i][j] = t
 				mu.Lock()
 				st.DenseBytes += 8 * blk.Rows * blk.Cols
-				st.CompressedBytes += t.Bytes()
-				if i != j {
-					if t.Kind == tlr.Zero {
-						st.ZeroTiles++
-					} else {
-						st.LowRankTiles++
-					}
-				}
+				st.record(t)
 				mu.Unlock()
 				return nil
 			})

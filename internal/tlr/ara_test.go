@@ -1,0 +1,171 @@
+package tlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/dense"
+)
+
+// lowRankPlusNoise builds a b×b block with a dominant rank-k part and a
+// small full-rank perturbation of Frobenius norm ≈ noise.
+func lowRankPlusNoise(rng *rand.Rand, rows, cols, k int, noise float64) *dense.Matrix {
+	a := dense.RandomLowRank(rng, rows, cols, k)
+	if noise > 0 {
+		e := dense.Random(rng, rows, cols)
+		e.Scale(noise / e.FrobNorm())
+		a.Add(1, e)
+	}
+	return a
+}
+
+func tileError(a *dense.Matrix, t *Tile) float64 {
+	d := t.ToDense()
+	d.Add(-1, a)
+	return d.FrobNorm()
+}
+
+// TestARAMatchesSVD is the property test of the issue: over random
+// low-rank-plus-noise tiles, the randomized compressor must land within
+// tolerance of the deterministic SVD chain — same accuracy class, rank
+// no more than one sampling block above the deterministic rank.
+func TestARAMatchesSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	ara := ARACompressor{BS: 8, Seed: 7}
+	svd := SVDCompressor{}
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	for trial := 0; trial < 25; trial++ {
+		rows := 24 + rng.Intn(60)
+		cols := 24 + rng.Intn(60)
+		k := 1 + rng.Intn(10)
+		tol := math.Pow(10, -3-2*rng.Float64()) // 1e-3 … 1e-5
+		a := lowRankPlusNoise(rng, rows, cols, k, tol/3)
+		ts := svd.CompressWS(a, tol, 0, ws)
+		ta := ara.CompressWS(a, tol, 0, ws)
+		es, ea := tileError(a, ts), tileError(a, ta)
+		if ea > tol {
+			t.Fatalf("trial %d (%dx%d k=%d tol=%g): ARA error %g exceeds tol (svd error %g)",
+				trial, rows, cols, k, tol, ea, es)
+		}
+		if ta.Rank() > ts.Rank()+ara.BS {
+			t.Fatalf("trial %d: ARA rank %d overshoots SVD rank %d by more than one block",
+				trial, ta.Rank(), ts.Rank())
+		}
+	}
+}
+
+// TestARAZeroTile checks the first sampling round detects blocks that
+// vanish at the threshold, matching the deterministic compressor's
+// Zero-tile rounding that DAG trimming feeds on.
+func TestARAZeroTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	a := dense.Random(rng, 32, 32)
+	a.Scale(1e-9 / a.FrobNorm())
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	tile := ARACompressor{Seed: 3}.CompressWS(a, 1e-6, 0, ws)
+	if tile.Kind != Zero {
+		t.Fatalf("expected Zero tile, got %v rank %d", tile.Kind, tile.Rank())
+	}
+}
+
+// TestARADeterministic: same seed → bitwise identical factors; the
+// sampling stream is an explicit counter, not global RNG state.
+func TestARADeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	a := lowRankPlusNoise(rng, 48, 40, 5, 1e-8)
+	c := ARACompressor{BS: 8, Seed: 99}
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	t1 := c.CompressWS(a, 1e-6, 0, ws)
+	t2 := c.CompressWS(a, 1e-6, 0, ws)
+	if t1.Rank() != t2.Rank() {
+		t.Fatalf("rank differs across runs: %d vs %d", t1.Rank(), t2.Rank())
+	}
+	for i := 0; i < t1.U.Rows; i++ {
+		for j := 0; j < t1.U.Cols; j++ {
+			if t1.U.At(i, j) != t2.U.At(i, j) {
+				t.Fatalf("U differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestARAColumnMatchesSolo: batching a column must not change any
+// tile's result — the per-tile sampling streams are position-seeded,
+// so the batch is a pure throughput optimization.
+func TestARAColumnMatchesSolo(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	c := ARACompressor{BS: 8, Seed: 11}
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	blocks := []*dense.Matrix{
+		lowRankPlusNoise(rng, 32, 32, 3, 1e-8),
+		lowRankPlusNoise(rng, 32, 32, 6, 1e-8),
+		lowRankPlusNoise(rng, 20, 32, 2, 1e-8),
+	}
+	out := make([]*Tile, len(blocks))
+	c.CompressColumnWS(5, blocks, 1e-6, 0, ws, out)
+	var solo [1]*Tile
+	for i, a := range blocks {
+		c.compressBatch(mixSeed(c.Seed, 5), blocks[i:i+1], 1e-6, 0, ws, solo[:])
+		_ = a
+		if solo[0].Rank() != out[i].Rank() {
+			t.Fatalf("tile %d: batched rank %d != solo rank %d", i, out[i].Rank(), solo[0].Rank())
+		}
+	}
+}
+
+// TestARARespectsMaxRank: the cap applies to the final factors exactly
+// as in the deterministic chain.
+func TestARARespectsMaxRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	a := lowRankPlusNoise(rng, 40, 40, 12, 0)
+	ws := dense.GetWorkspace()
+	defer ws.Release()
+	tile := ARACompressor{BS: 8, Seed: 1}.CompressWS(a, 1e-10, 4, ws)
+	if tile.Rank() != 4 {
+		t.Fatalf("expected capped rank 4, got %d", tile.Rank())
+	}
+}
+
+// TestARASampleSteadyStateAllocs pins the batched sampling core to the
+// workspace arena: once the pool is warm a full column sampling pass
+// performs zero heap allocations.
+func TestARASampleSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	c := ARACompressor{BS: 16, Seed: 17}
+	blocks := []*dense.Matrix{
+		lowRankPlusNoise(rng, 64, 64, 5, 1e-9),
+		lowRankPlusNoise(rng, 64, 64, 9, 1e-9),
+		lowRankPlusNoise(rng, 64, 64, 3, 1e-9),
+	}
+	qs := make([]dense.Matrix, len(blocks))
+	ranks := make([]int, len(blocks))
+	run := func() {
+		ws := dense.GetWorkspace()
+		c.sampleBatch(mixSeed(c.Seed, 2), blocks, 1e-7, ws, qs, ranks)
+		ws.Release()
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the arena to its high-water mark
+	}
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Fatalf("ARA sampling path allocates %.1f allocs/op in steady state, want 0", avg)
+	}
+}
+
+// TestCompressorFor covers the shared selection point.
+func TestCompressorFor(t *testing.T) {
+	if c, err := CompressorFor("", 0, 0); err != nil || c.Name() != "svd" {
+		t.Fatalf("default compressor: %v %v", c, err)
+	}
+	if c, err := CompressorFor("ara", 16, 5); err != nil || c.Name() != "ara" {
+		t.Fatalf("ara compressor: %v %v", c, err)
+	}
+	if _, err := CompressorFor("qr", 0, 0); err == nil {
+		t.Fatal("expected an error for an unknown compressor kind")
+	}
+}

@@ -1,0 +1,148 @@
+package tlr
+
+import (
+	"math/rand"
+	"testing"
+
+	"tlrchol/internal/dense"
+)
+
+// randomLDLtFactor builds a b×b packed LDLᵀ factor: random unit-lower L
+// in the strict lower triangle, mixed-sign D on the diagonal.
+func randomLDLtFactor(rng *rand.Rand, b int) *dense.Matrix {
+	ld := dense.NewMatrix(b, b)
+	for i := 0; i < b; i++ {
+		for j := 0; j < i; j++ {
+			ld.Set(i, j, 0.3*rng.NormFloat64())
+		}
+		d := 1 + rng.Float64()
+		if i%2 == 1 {
+			d = -d
+		}
+		ld.Set(i, i, d)
+	}
+	return ld
+}
+
+// unpack returns the explicit unit-lower L and diagonal D of a packed factor.
+func unpack(ld *dense.Matrix) (l, d *dense.Matrix) {
+	b := ld.Rows
+	l = dense.NewMatrix(b, b)
+	d = dense.NewMatrix(b, b)
+	for i := 0; i < b; i++ {
+		l.Set(i, i, 1)
+		d.Set(i, i, ld.At(i, i))
+		for j := 0; j < i; j++ {
+			l.Set(i, j, ld.At(i, j))
+		}
+	}
+	return l, d
+}
+
+func randomTileLR(rng *rand.Rand, rows, cols, k int) *Tile {
+	return NewLowRank(dense.Random(rng, rows, k), dense.Random(rng, cols, k))
+}
+
+func TestTrsmLDLt(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	const b, k = 32, 5
+	ld := randomLDLtFactor(rng, b)
+	l, d := unpack(ld)
+	// Reference: A·L⁻ᵀ·D⁻¹ computed densely.
+	ref := func(a *dense.Matrix) *dense.Matrix {
+		out := a.Clone()
+		dense.Trsm(dense.Right, dense.Lower, dense.Trans, dense.Unit, 1, l, out)
+		for i := 0; i < out.Rows; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] /= d.At(j, j)
+			}
+		}
+		return out
+	}
+	for _, kind := range []Kind{LowRank, Dense} {
+		var tile *Tile
+		if kind == LowRank {
+			tile = randomTileLR(rng, b, b, k)
+		} else {
+			tile = NewDense(dense.Random(rng, b, b))
+		}
+		want := ref(tile.ToDense())
+		TrsmLDLt(ld, tile)
+		got := tile.ToDense()
+		if dense.FrobDiff(got, want) > 1e-10*want.FrobNorm() {
+			t.Fatalf("%v TrsmLDLt mismatch: %g", kind, dense.FrobDiff(got, want))
+		}
+	}
+	z := NewZero(b, b)
+	TrsmLDLt(ld, z)
+	if z.Kind != Zero {
+		t.Fatal("Zero tile must pass through")
+	}
+}
+
+func TestSyrkLDLt(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const b, k = 32, 5
+	ld := randomLDLtFactor(rng, b)
+	_, d := unpack(ld)
+	for _, kind := range []Kind{Zero, LowRank, Dense} {
+		var a *Tile
+		switch kind {
+		case Zero:
+			a = NewZero(b, b)
+		case LowRank:
+			a = randomTileLR(rng, b, b, k)
+		default:
+			a = NewDense(dense.Random(rng, b, b))
+		}
+		c := dense.RandomSPD(rng, b)
+		want := c.Clone()
+		ad := a.ToDense()
+		add := dense.NewMatrix(b, b)
+		dense.Gemm(dense.NoTrans, dense.NoTrans, 1, ad, d, 0, add)
+		dense.Gemm(dense.NoTrans, dense.Trans, -1, add, ad, 1, want)
+		SyrkLDLt(a, ld, c)
+		// Only the lower triangle is updated.
+		for i := 0; i < b; i++ {
+			for j := 0; j <= i; j++ {
+				if diff := c.At(i, j) - want.At(i, j); diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%v SyrkLDLt mismatch at (%d,%d): %g", kind, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmLDLt(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	const b, k = 32, 4
+	ld := randomLDLtFactor(rng, b)
+	_, d := unpack(ld)
+	cfg := GemmConfig{Tol: 1e-12}
+	mk := func(kind Kind) *Tile {
+		switch kind {
+		case Zero:
+			return NewZero(b, b)
+		case LowRank:
+			return randomTileLR(rng, b, b, k)
+		default:
+			return NewDense(dense.Random(rng, b, b))
+		}
+	}
+	for _, ak := range []Kind{Zero, LowRank, Dense} {
+		for _, bk := range []Kind{Zero, LowRank, Dense} {
+			for _, ck := range []Kind{Zero, LowRank, Dense} {
+				a, bt, c := mk(ak), mk(bk), mk(ck)
+				want := c.ToDense()
+				adD := dense.NewMatrix(b, b)
+				dense.Gemm(dense.NoTrans, dense.NoTrans, 1, a.ToDense(), d, 0, adD)
+				dense.Gemm(dense.NoTrans, dense.Trans, -1, adD, bt.ToDense(), 1, want)
+				got := GemmLDLt(a, bt, ld, c, cfg).ToDense()
+				if dense.FrobDiff(got, want) > 1e-8*(1+want.FrobNorm()) {
+					t.Fatalf("GemmLDLt(%v,%v,%v) mismatch: %g", ak, bk, ck, dense.FrobDiff(got, want))
+				}
+			}
+		}
+	}
+}

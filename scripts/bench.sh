@@ -19,7 +19,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 # so a noisy-neighbor slow phase on a shared box cannot poison every
 # sample of the benchmarks that happen to run inside it.
 COUNT="${BENCH_COUNT:-3}"
-PATTERN='^(BenchmarkDense|BenchmarkHCore|BenchmarkRecompress|BenchmarkCompressTile|BenchmarkFactorizeRBF|BenchmarkSolveLatency)'
+PATTERN='^(BenchmarkDense|BenchmarkHCore|BenchmarkRecompress|BenchmarkCompressTile|BenchmarkCompressSVD|BenchmarkCompressARA|BenchmarkFactorizeRBF|BenchmarkFactorizeLDLt|BenchmarkSolveLatency)'
 STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 TAG="${BENCH_TAG:+-$BENCH_TAG}"
 OUT="BENCH_${STAMP}${TAG}.json"

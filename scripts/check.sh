@@ -200,6 +200,19 @@ grep -q '^router: ' "$serve_log" || {
 grep -q '^replication: ' "$serve_log" || {
     echo "check.sh: fleet loadgen did not report replication counters" >&2; cat "$serve_log" >&2; exit 1; }
 
+echo "== indefinite factorization gate"
+# The LDLᵀ keystone (factor + planned solve vs the dense reference on a
+# saddle-point system Cholesky rejects) must hold under the race
+# detector, and a CLI run of the full indefinite pipeline — ARA
+# compression, augmented assembly, LDLᵀ factor, solve — must report its
+# residual.
+go test -race -run 'TestLDLtMatchesDense|TestLDLtPlannedSolveBitwise' ./internal/core
+ldlt_out="$(go run ./cmd/tlrchol -n 508 -b 64 -tol 1e-8 -compress ara -factor ldlt -augmented)"
+echo "$ldlt_out" | grep -q 'factor error |LDL^T - A|/|A|' || {
+    echo "check.sh: ldlt run printed no LDL^T factor error" >&2; exit 1; }
+echo "$ldlt_out" | grep -q 'solve residual |Ax - b|/|b|' || {
+    echo "check.sh: ldlt run printed no solve residual" >&2; exit 1; }
+
 echo "== benchmark smoke run (1 iteration per benchmark)"
 go test -run '^$' -bench=. -benchtime=1x . > /dev/null
 
